@@ -1,0 +1,71 @@
+"""Figure 8 — effectiveness of task migration (overload handling).
+
+8(a): number of server-overload occurrences and bandwidth cost with vs
+without migration.  8(b): average accuracy by deadline and average JCT
+with vs without migration.  The paper reports migration reduces
+overload occurrences by 36–60% and JCT by 15–24% while adding 10–14%
+bandwidth.
+"""
+
+from harness import ablation_figure, print_figure, run_config_sweep
+
+from repro.core import MLFSConfig, make_mlf_h
+
+
+def _sweeps():
+    return {
+        "w/ migration": run_config_sweep(
+            "mig-on",
+            lambda: make_mlf_h(
+                MLFSConfig(enable_migration=True, enable_load_control=False)
+            ),
+        ),
+        "w/o migration": run_config_sweep(
+            "mig-off",
+            lambda: make_mlf_h(
+                MLFSConfig(enable_migration=False, enable_load_control=False)
+            ),
+        ),
+    }
+
+
+def test_fig8a_overload_occurrences(benchmark):
+    """Fig. 8(a) left Y: server-overload occurrences."""
+    sweeps = benchmark.pedantic(_sweeps, rounds=1, iterations=1)
+    series = ablation_figure(
+        "Fig 8(a) overload occurrences", "count", "overload_occurrences", sweeps
+    )
+    print_figure(series)
+    top = max(series.xs())
+    assert series.data["w/ migration"][top] <= series.data["w/o migration"][top]
+
+
+def test_fig8a_bandwidth(benchmark):
+    """Fig. 8(a) right Y: bandwidth cost (migration adds traffic)."""
+    sweeps = benchmark.pedantic(_sweeps, rounds=1, iterations=1)
+    series = ablation_figure("Fig 8(a) bandwidth", "GB", "bandwidth_gb", sweeps)
+    print_figure(series)
+    top = max(series.xs())
+    migrations = run_config_sweep("mig-on", lambda: None)  # cached
+    assert migrations[top]["migrations"] > 0
+
+
+def test_fig8b_accuracy(benchmark):
+    """Fig. 8(b) left Y: average accuracy by deadline."""
+    sweeps = benchmark.pedantic(_sweeps, rounds=1, iterations=1)
+    series = ablation_figure("Fig 8(b) avg accuracy", "accuracy", "avg_accuracy", sweeps)
+    print_figure(series)
+    top = max(series.xs())
+    assert (
+        series.data["w/ migration"][top]
+        >= series.data["w/o migration"][top] - 0.05
+    )
+
+
+def test_fig8b_jct(benchmark):
+    """Fig. 8(b) right Y: average JCT."""
+    sweeps = benchmark.pedantic(_sweeps, rounds=1, iterations=1)
+    series = ablation_figure("Fig 8(b) avg JCT", "seconds", "avg_jct_s", sweeps)
+    print_figure(series)
+    top = max(series.xs())
+    assert series.data["w/ migration"][top] <= series.data["w/o migration"][top] * 1.10

@@ -1,0 +1,40 @@
+"""Figure 9 — effectiveness of MLF-C system load control.
+
+Accuracy guarantee ratio and average JCT with vs without MLF-C.  The
+paper reports MLF-C improves the accuracy guarantee ratio by 17–23% and
+average JCT by 28–42% under overload.
+"""
+
+from harness import ablation_figure, print_figure, run_config_sweep, trained_policy
+
+from repro.core import make_mlf_rl, make_mlfs
+
+
+def _sweeps():
+    policy = trained_policy()
+    return {
+        # Full MLFS = MLF-RL + MLF-C; the ablation removes only MLF-C.
+        "w/ MLF-C": run_config_sweep("mlfc-on", lambda: make_mlfs(policy)),
+        "w/o MLF-C": run_config_sweep("mlfc-off", lambda: make_mlf_rl(policy)),
+    }
+
+
+def test_fig9_accuracy_guarantee(benchmark):
+    """Left Y: accuracy guarantee ratio with vs without MLF-C."""
+    sweeps = benchmark.pedantic(_sweeps, rounds=1, iterations=1)
+    series = ablation_figure(
+        "Fig 9 accuracy guarantee ratio", "ratio", "accuracy_ratio", sweeps
+    )
+    print_figure(series)
+    top = max(series.xs())
+    assert series.data["w/ MLF-C"][top] >= series.data["w/o MLF-C"][top] - 0.05
+
+
+def test_fig9_jct(benchmark):
+    """Right Y: average JCT with vs without MLF-C."""
+    sweeps = benchmark.pedantic(_sweeps, rounds=1, iterations=1)
+    series = ablation_figure("Fig 9 avg JCT", "seconds", "avg_jct_s", sweeps)
+    print_figure(series)
+    top = max(series.xs())
+    # MLF-C sheds unnecessary iterations; JCT must improve under load.
+    assert series.data["w/ MLF-C"][top] < series.data["w/o MLF-C"][top]

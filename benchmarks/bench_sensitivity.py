@@ -1,0 +1,108 @@
+"""Parameter-sensitivity ablations (the paper defers these to future
+work — DESIGN.md §6 extension).
+
+Sweeps the MLF-H weight ``α`` (ML vs computation features, Eq. 6), the
+dependency discount ``γ`` (Eq. 3/5) and the migration-candidate
+fraction ``p_s`` (Section 3.3.3), reporting average JCT and accuracy at
+one contended workload point.
+"""
+
+from harness import ABLATION, BENCH_ENGINE, BENCH_WORKLOAD
+
+from repro.analysis import format_table
+from repro.core import MLFSConfig, PriorityWeights, make_mlf_h
+from repro.sim import SimulationSetup, run_simulation
+from repro.workload import generate_trace
+
+_JOBS = 80
+
+
+def _run(config: MLFSConfig) -> dict:
+    records = generate_trace(
+        _JOBS,
+        duration_seconds=ABLATION.arrival_window_seconds,
+        seed=ABLATION.trace_seed,
+    )
+    setup = SimulationSetup(
+        records=records,
+        cluster_factory=ABLATION.cluster_factory(),
+        workload_seed=ABLATION.workload_seed,
+        engine_config=BENCH_ENGINE,
+        workload_config=BENCH_WORKLOAD,
+    )
+    return run_simulation(make_mlf_h(config), setup).summary()
+
+
+def test_alpha_sensitivity(benchmark):
+    """Eq. 6 blend weight α ∈ {0, 0.3, 0.7, 1.0}."""
+
+    def run():
+        rows = []
+        for alpha in (0.0, 0.3, 0.7, 1.0):
+            config = MLFSConfig(
+                priority=PriorityWeights(alpha=alpha), enable_load_control=False
+            )
+            summary = _run(config)
+            rows.append([alpha, summary["avg_jct_s"], summary["avg_accuracy"]])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(["alpha", "avg_jct_s", "avg_accuracy"], rows))
+    assert len(rows) == 4
+    assert all(jct > 0 for _a, jct, _acc in rows)
+
+
+def test_gamma_sensitivity(benchmark):
+    """Dependency discount γ ∈ {0.2, 0.5, 0.8, 0.95}."""
+
+    def run():
+        rows = []
+        for gamma in (0.2, 0.5, 0.8, 0.95):
+            config = MLFSConfig(
+                priority=PriorityWeights(gamma=gamma), enable_load_control=False
+            )
+            summary = _run(config)
+            rows.append([gamma, summary["avg_jct_s"], summary["deadline_ratio"]])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(["gamma", "avg_jct_s", "deadline_ratio"], rows))
+    assert len(rows) == 4
+
+
+def test_ps_fraction_sensitivity(benchmark):
+    """Migration-candidate fraction p_s ∈ {0.05, 0.1, 0.3, 1.0}."""
+
+    def run():
+        rows = []
+        for ps in (0.05, 0.1, 0.3, 1.0):
+            config = MLFSConfig(
+                migration_candidate_fraction=ps, enable_load_control=False
+            )
+            summary = _run(config)
+            rows.append([ps, summary["avg_jct_s"], summary["migrations"]])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(["p_s", "avg_jct_s", "migrations"], rows))
+    assert len(rows) == 4
+
+
+def test_overload_threshold_sensitivity(benchmark):
+    """Overload threshold h_r ∈ {0.7, 0.8, 0.9, 0.99}."""
+
+    def run():
+        rows = []
+        for hr in (0.7, 0.8, 0.9, 0.99):
+            config = MLFSConfig(
+                overload_threshold=hr,
+                system_overload_threshold=hr,
+                enable_load_control=False,
+            )
+            summary = _run(config)
+            rows.append([hr, summary["avg_jct_s"], summary["overload_occurrences"]])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + format_table(["h_r", "avg_jct_s", "overloads"], rows))
+    assert len(rows) == 4

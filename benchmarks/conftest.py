@@ -1,0 +1,7 @@
+"""Benchmark fixtures: make the harness importable and share sweeps."""
+
+import sys
+from pathlib import Path
+
+# The benchmarks directory is not a package; expose harness.py.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Reproduce a slice of the paper's Figure 4 comparison interactively.
+
+Runs all ten schedulers (the MLFS family plus the seven published
+baselines) on one contended workload and prints the full metric table,
+ranked by average JCT.
+
+Run:  python examples/compare_all_schedulers.py [num_jobs] [num_servers]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.baselines import (
+    FairScheduler,
+    GandivaScheduler,
+    GrapheneScheduler,
+    HyperSchedScheduler,
+    RLScheduler,
+    SLAQScheduler,
+    TiresiasScheduler,
+)
+from repro.cluster import Cluster
+from repro.core import make_mlf_h, make_mlf_rl, make_mlfs
+from repro.sim import EngineConfig, SimulationSetup, run_comparison
+from repro.workload import WorkloadConfig, generate_trace
+
+
+def main() -> None:
+    num_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    num_servers = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+
+    records = generate_trace(num_jobs, duration_seconds=2 * 3600.0, seed=3)
+    setup = SimulationSetup(
+        records=records,
+        cluster_factory=lambda: Cluster.build(num_servers, 4),
+        workload_seed=4,
+        engine_config=EngineConfig(),
+        workload_config=WorkloadConfig(deadline_uniform_range_hours=(0.5, 6.0)),
+    )
+    schedulers = [
+        make_mlfs(),
+        make_mlf_rl(),
+        make_mlf_h(),
+        GrapheneScheduler(),
+        TiresiasScheduler(),
+        HyperSchedScheduler(),
+        RLScheduler(),
+        GandivaScheduler(),
+        FairScheduler(),
+        SLAQScheduler(),
+    ]
+    print(f"running {len(schedulers)} schedulers × {num_jobs} jobs "
+          f"on {num_servers} servers ({num_servers * 4} GPUs)…")
+    results = run_comparison(schedulers, setup)
+
+    keys = [
+        "avg_jct_s",
+        "deadline_ratio",
+        "avg_wait_s",
+        "avg_accuracy",
+        "accuracy_ratio",
+        "bandwidth_gb",
+        "migrations",
+        "overhead_ms",
+    ]
+    rows = sorted(
+        (
+            [name] + [round(result.summary()[k], 2) for k in keys]
+            for name, result in results.items()
+        ),
+        key=lambda row: row[1],
+    )
+    print(format_table(["scheduler"] + keys, rows))
+
+
+if __name__ == "__main__":
+    main()

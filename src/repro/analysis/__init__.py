@@ -1,0 +1,28 @@
+"""Result analysis: CDFs, percentiles, figure tables."""
+
+from repro.analysis.report import (
+    best_scheduler,
+    improvement_over,
+    render_report,
+)
+from repro.analysis.cdf import cdf_at, empirical_cdf, log_spaced_points, percentile
+from repro.analysis.tables import (
+    FigureSeries,
+    format_table,
+    improvement,
+    summary_rows,
+)
+
+__all__ = [
+    "FigureSeries",
+    "best_scheduler",
+    "improvement_over",
+    "render_report",
+    "cdf_at",
+    "empirical_cdf",
+    "format_table",
+    "improvement",
+    "log_spaced_points",
+    "percentile",
+    "summary_rows",
+]

@@ -1,0 +1,65 @@
+"""CDF and percentile utilities for result reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def empirical_cdf(values: Sequence[float]) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) pairs of the sorted sample."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def cdf_at(values: Sequence[float], points: Sequence[float]) -> list[float]:
+    """CDF evaluated at the given points."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return [0.0 for _ in points]
+    out = []
+    for p in points:
+        count = _bisect_right(ordered, p)
+        out.append(count / n)
+    return out
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def log_spaced_points(lo: float, hi: float, count: int = 20) -> list[float]:
+    """Logarithmically spaced axis points (like the paper's JCT axes)."""
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if count < 2:
+        raise ValueError("need at least 2 points")
+    ratio = (hi / lo) ** (1.0 / (count - 1))
+    return [lo * ratio**i for i in range(count)]
+
+
+def _bisect_right(ordered: list[float], x: float) -> int:
+    lo, hi = 0, len(ordered)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if x < ordered[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

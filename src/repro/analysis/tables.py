@@ -1,0 +1,110 @@
+"""Tabular result formatting — the benchmark harness's output layer.
+
+Every figure of the paper is a set of series (one per scheduler) over a
+sweep axis (number of jobs).  :class:`FigureSeries` accumulates those
+series and renders the aligned text tables the benches print, so
+paper-vs-measured comparisons in EXPERIMENTS.md can be regenerated
+verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], precision: int = 3
+) -> str:
+    """Render an aligned monospace table."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureSeries:
+    """Series data for one paper figure.
+
+    ``data[scheduler][x]`` = measured y value; the x axis is typically
+    the number of jobs.
+    """
+
+    title: str
+    x_label: str = "jobs"
+    y_label: str = "value"
+    data: dict[str, dict[float, float]] = field(default_factory=dict)
+
+    def add(self, scheduler: str, x: float, y: float) -> None:
+        """Record one measurement."""
+        self.data.setdefault(scheduler, {})[x] = y
+
+    def xs(self) -> list[float]:
+        """Sorted union of x values across schedulers."""
+        values: set[float] = set()
+        for series in self.data.values():
+            values.update(series)
+        return sorted(values)
+
+    def render(self, precision: int = 3) -> str:
+        """The figure as an aligned table (schedulers × sweep points)."""
+        xs = self.xs()
+        headers = [f"{self.title} [{self.y_label}]"] + [
+            f"{self.x_label}={_fmt_x(x)}" for x in xs
+        ]
+        rows = []
+        for scheduler in self.data:
+            row: list[object] = [scheduler]
+            for x in xs:
+                value = self.data[scheduler].get(x)
+                row.append("-" if value is None else value)
+            rows.append(row)
+        return format_table(headers, rows, precision=precision)
+
+    def ranking(self, x: float, ascending: bool = True) -> list[str]:
+        """Schedulers ordered by their value at sweep point ``x``."""
+        pairs = [
+            (series[x], name) for name, series in self.data.items() if x in series
+        ]
+        pairs.sort(reverse=not ascending)
+        return [name for _v, name in pairs]
+
+
+def improvement(better: float, worse: float) -> float:
+    """The paper's improvement metric ``(y - z) / z`` as a fraction.
+
+    For "lower is better" metrics call with (worse_value, better_value)
+    swapped accordingly by the caller; this is the raw ratio.
+    """
+    if worse == 0:
+        return 0.0
+    return (better - worse) / worse
+
+
+def summary_rows(
+    summaries: Mapping[str, Mapping[str, float]], keys: Sequence[str]
+) -> list[list[object]]:
+    """Rows of (scheduler, metric...) for :func:`format_table`."""
+    rows: list[list[object]] = []
+    for name, summary in summaries.items():
+        rows.append([name] + [summary.get(k, float("nan")) for k in keys])
+    return rows
+
+
+def _fmt_x(x: float) -> str:
+    return str(int(x)) if float(x).is_integer() else f"{x:g}"

@@ -1,0 +1,19 @@
+"""Plain FIFO gang scheduling — the simplest reference policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import GangScheduler
+from repro.sim.interface import SchedulingContext
+from repro.workload.job import Job
+
+
+@dataclass
+class FIFOScheduler(GangScheduler):
+    """Admit jobs strictly by arrival time (with backfilling)."""
+
+    name: str = "FIFO"
+
+    def job_order(self, jobs: list[Job], ctx: SchedulingContext) -> list[Job]:
+        return sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))

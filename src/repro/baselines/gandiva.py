@@ -1,0 +1,94 @@
+"""Gandiva (Xiao et al., OSDI 2018) — as characterized in the paper.
+
+"Gandiva uses first-in-first-out (FIFO) queuing.  Also, it defines the
+jobs with the same number of GPU requirements as affinity jobs and tries
+to put the affinity jobs to the same machine … to relieve the extra load
+of an overloaded GPU …, Gandiva moves the job with the lowest GPU
+utilization to the GPU with the lowest utilization" (Section 2).  It
+considers only GPU load — not CPU/memory/bandwidth — and its migrations
+ignore communication cost, which is why it shows the highest bandwidth
+cost in Figure 4(g).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import GangScheduler
+from repro.sim.interface import Migration, SchedulerDecision, SchedulingContext
+from repro.sim.shadow import ShadowCluster
+from repro.workload.job import Job
+
+
+@dataclass
+class GandivaScheduler(GangScheduler):
+    """FIFO + affinity packing + GPU-overload migration."""
+
+    name: str = "Gandiva"
+    gpu_overload_threshold: float = 0.90
+    max_migrations_per_round: int = 8
+
+    def job_order(self, jobs: list[Job], ctx: SchedulingContext) -> list[Job]:
+        return sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+
+    def preferred_servers(self, job: Job, ctx: SchedulingContext) -> list[int]:
+        """Affinity: servers already hosting jobs with the same GPU count."""
+        preferred = []
+        for server in ctx.cluster.servers:
+            for task in server.tasks():
+                if task.job.gpus_requested == job.gpus_requested:
+                    preferred.append(server.server_id)
+                    break
+        return preferred
+
+    def extra_actions(
+        self, ctx: SchedulingContext, shadow: ShadowCluster, decision: SchedulerDecision
+    ) -> None:
+        """Move the lowest-utilization task off each overloaded GPU.
+
+        The destination is the cluster's least-utilized GPU; no other
+        resource and no communication volume is consulted (Gandiva's
+        GPU-only view).
+        """
+        migrations = 0
+        for server in ctx.cluster.servers:
+            for gpu in server.gpus:
+                if migrations >= self.max_migrations_per_round:
+                    return
+                if shadow.gpu_utilization(server, gpu.gpu_id) <= self.gpu_overload_threshold:
+                    continue
+                victims = [
+                    t
+                    for t in gpu.tasks()
+                    if shadow.task_location(t) == server.server_id
+                ]
+                if not victims:
+                    continue
+                victim = min(victims, key=lambda t: (t.demand.gpu, t.task_id))
+                target = self._least_utilized_gpu(ctx, shadow, exclude=(server.server_id, gpu.gpu_id))
+                if target is None:
+                    continue
+                dst_server_id, dst_gpu_id = target
+                if dst_server_id == server.server_id and dst_gpu_id == gpu.gpu_id:
+                    continue
+                shadow.commit_migration(victim, dst_server_id, dst_gpu_id)
+                decision.migrations.append(Migration(victim, dst_server_id, dst_gpu_id))
+                migrations += 1
+
+    def _least_utilized_gpu(
+        self,
+        ctx: SchedulingContext,
+        shadow: ShadowCluster,
+        exclude: tuple[int, int],
+    ) -> tuple[int, int] | None:
+        best = None
+        best_util = float("inf")
+        for server in ctx.cluster.servers:
+            for gpu in server.gpus:
+                if (server.server_id, gpu.gpu_id) == exclude:
+                    continue
+                util = shadow.gpu_utilization(server, gpu.gpu_id)
+                if util < best_util:
+                    best_util = util
+                    best = (server.server_id, gpu.gpu_id)
+        return best

@@ -1,0 +1,83 @@
+"""HyperSched (Liaw et al., SoCC 2019) — as characterized in the paper.
+
+"HyperSched aims to produce a trained model with higher accuracy before
+the pre-set deadline under a certain resource constraint.  This method
+pauses jobs that do not increase accuracy significantly and tends to
+assign more resources to the job with more accuracy improvement before
+its deadline" (Section 2).  Deadline- and accuracy-aware, but with no
+JCT or bandwidth objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import GangScheduler, waiting_jobs
+from repro.sim.interface import SchedulingContext
+from repro.workload.job import Job
+
+
+@dataclass
+class HyperSchedScheduler(GangScheduler):
+    """Accuracy-gain-before-deadline gang scheduling with pausing.
+
+    Parameters
+    ----------
+    pause_gain_threshold:
+        Running jobs whose next-iteration accuracy gain falls below this
+        are paused when other jobs wait.
+    """
+
+    name: str = "HyperSched"
+    pause_gain_threshold: float = 1e-4
+    max_pauses_per_round: int = 1
+
+    def accuracy_gain_before_deadline(self, job: Job, ctx: SchedulingContext) -> float:
+        """Predicted accuracy improvement achievable before the deadline."""
+        time_left = job.deadline - ctx.now
+        if time_left <= 0:
+            return 0.0
+        iter_time = max(ctx.runtime_predictor.iteration_time(job), 1e-6)
+        feasible = min(int(time_left / iter_time), job.remaining_iterations)
+        target_iteration = job.iterations_completed + feasible
+        predicted = ctx.accuracy_predictor.predict(job, target_iteration)
+        return max(0.0, predicted - job.current_accuracy)
+
+    def marginal_gain(self, job: Job) -> float:
+        """Accuracy improvement of the job's next iteration."""
+        nxt = job.iterations_completed + 1
+        return job.accuracy_at(nxt) - job.current_accuracy
+
+    def job_order(self, jobs: list[Job], ctx: SchedulingContext) -> list[Job]:
+        def urgency_score(job: Job) -> float:
+            # Gain per hour of remaining slack: deadline-critical jobs
+            # with real accuracy upside come first.
+            slack_h = max(job.deadline - ctx.now, 600.0) / 3600.0
+            return self.accuracy_gain_before_deadline(job, ctx) / slack_h
+
+        return sorted(
+            jobs, key=lambda j: (-urgency_score(j), j.deadline, j.job_id)
+        )
+
+    def preemptions(self, ctx: SchedulingContext) -> list[Job]:
+        """Pause running jobs with negligible marginal accuracy gain.
+
+        Deadline-critical jobs (slack below twice the predicted
+        remaining time) are never paused — pausing them would defeat the
+        accuracy-before-deadline objective.
+        """
+        if not waiting_jobs(ctx):
+            return []
+        running = [j for j in ctx.active_jobs if j.is_fully_placed]
+        stale = []
+        for job in running:
+            if self.marginal_gain(job) >= self.pause_gain_threshold:
+                continue
+            if job.remaining_iterations <= 1:
+                continue
+            slack = job.deadline - ctx.now
+            if slack < 2.0 * ctx.runtime_predictor.remaining_time(job):
+                continue
+            stale.append(job)
+        stale.sort(key=lambda j: self.marginal_gain(j))
+        return stale[: self.max_pauses_per_round]

@@ -1,0 +1,90 @@
+"""Tiresias (Gu et al., NSDI 2019) — as characterized in the paper.
+
+Two priority principles (Section 2): "for jobs without prior knowledge
+of its task running time, the least-attained-service principle gives
+higher priorities to the jobs that received less service time; for jobs
+with known task running time distribution …, the priority is determined
+by how likely the job can complete within the next service epoch."
+
+We implement the discretized two-dimensional attained-service queues
+(2D-LAS) with preemption: when higher-priority jobs wait, the
+longest-served running jobs are preempted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.baselines.base import GangScheduler, waiting_jobs
+from repro.sim.interface import SchedulingContext
+from repro.workload.job import Job
+
+
+@dataclass
+class TiresiasScheduler(GangScheduler):
+    """Discretized least-attained-service gang scheduling with preemption.
+
+    Parameters
+    ----------
+    num_queues:
+        Number of discretized priority queues; attained service doubles
+        between queue boundaries.
+    service_unit:
+        GPU-seconds represented by the first queue boundary.
+    epoch_seconds:
+        Service epoch used by the known-runtime principle: jobs that can
+        finish within one epoch get the top queue.
+    """
+
+    name: str = "Tiresias"
+    num_queues: int = 5
+    service_unit: float = 3600.0
+    epoch_seconds: float = 600.0
+    max_preemptions_per_round: int = 4
+    _attained: dict[str, float] = field(default_factory=dict)
+
+    # -- attained-service bookkeeping -----------------------------------------
+
+    def on_iteration_complete(self, job: Job, now: float) -> None:
+        per_iter = (
+            job.estimated_duration / job.max_iterations if job.max_iterations else 0.0
+        )
+        self._attained[job.job_id] = (
+            self._attained.get(job.job_id, 0.0) + per_iter * job.gpus_requested
+        )
+
+    def on_job_complete(self, job: Job, now: float) -> None:
+        self._attained.pop(job.job_id, None)
+
+    def queue_index(self, job: Job, ctx: SchedulingContext) -> int:
+        """Discretized priority queue (0 = highest priority)."""
+        remaining = ctx.runtime_predictor.remaining_time(job)
+        if 0.0 < remaining <= self.epoch_seconds:
+            return 0  # known-runtime principle: finishes within an epoch
+        attained = self._attained.get(job.job_id, 0.0)
+        index = int(math.log2(attained / self.service_unit + 1.0)) + 1
+        return min(index, self.num_queues - 1)
+
+    # -- GangScheduler hooks ------------------------------------------------------
+
+    def job_order(self, jobs: list[Job], ctx: SchedulingContext) -> list[Job]:
+        return sorted(
+            jobs,
+            key=lambda j: (self.queue_index(j, ctx), j.arrival_time, j.job_id),
+        )
+
+    def preemptions(self, ctx: SchedulingContext) -> list[Job]:
+        """Preempt long-served running jobs when better jobs wait."""
+        waiting = waiting_jobs(ctx)
+        if not waiting:
+            return []
+        best_waiting = min(self.queue_index(j, ctx) for j in waiting)
+        running = [j for j in ctx.active_jobs if j.is_fully_placed]
+        victims = [
+            j for j in running if self.queue_index(j, ctx) > best_waiting
+        ]
+        victims.sort(
+            key=lambda j: (-self.queue_index(j, ctx), -self._attained.get(j.job_id, 0.0))
+        )
+        return victims[: self.max_preemptions_per_round]

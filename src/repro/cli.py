@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``trace``    Generate a synthetic Philly-like trace CSV.
+``run``      Run one scheduler over a trace and print its summary.
+``compare``  Run several schedulers over the same trace and emit a
+             Markdown report.
+
+Examples
+--------
+::
+
+    python -m repro trace --jobs 200 --hours 2 --out trace.csv
+    python -m repro run --trace trace.csv --scheduler MLFS --servers 8
+    python -m repro compare --trace trace.csv --servers 8 \
+        --schedulers MLFS,Tiresias,Graphene --out report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.report import render_report
+from repro.baselines import (
+    FIFOScheduler,
+    FairScheduler,
+    GandivaScheduler,
+    GrapheneScheduler,
+    HyperSchedScheduler,
+    RLScheduler,
+    SLAQScheduler,
+    TiresiasScheduler,
+)
+from repro.cluster import Cluster
+from repro.core import make_mlf_h, make_mlf_rl, make_mlfs
+from repro.sim import EngineConfig, SimulationSetup, run_comparison, run_simulation
+from repro.workload import generate_trace, read_trace, write_trace
+
+#: Scheduler name → zero-argument factory.
+SCHEDULER_FACTORIES: dict[str, Callable[[], object]] = {
+    "MLFS": make_mlfs,
+    "MLF-RL": make_mlf_rl,
+    "MLF-H": make_mlf_h,
+    "FIFO": FIFOScheduler,
+    "TensorFlow": FairScheduler,
+    "SLAQ": SLAQScheduler,
+    "Tiresias": TiresiasScheduler,
+    "Gandiva": GandivaScheduler,
+    "Graphene": GrapheneScheduler,
+    "HyperSched": HyperSchedScheduler,
+    "RL": RLScheduler,
+}
+
+
+def scheduler_by_name(name: str):
+    """Instantiate a scheduler by its display name."""
+    try:
+        return SCHEDULER_FACTORIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULER_FACTORIES))
+        raise SystemExit(f"unknown scheduler {name!r}; choose from: {known}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MLFS (CoNEXT'20) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_trace = sub.add_parser("trace", help="generate a synthetic trace CSV")
+    p_trace.add_argument("--jobs", type=int, default=100)
+    p_trace.add_argument("--hours", type=float, default=2.0)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", default="trace.csv")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--trace", required=True, help="trace CSV path")
+    common.add_argument("--servers", type=int, default=8)
+    common.add_argument("--gpus-per-server", type=int, default=4)
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--tick-seconds", type=float, default=60.0)
+
+    p_run = sub.add_parser("run", parents=[common], help="run one scheduler")
+    p_run.add_argument("--scheduler", default="MLFS")
+
+    p_cmp = sub.add_parser("compare", parents=[common], help="compare schedulers")
+    p_cmp.add_argument(
+        "--schedulers",
+        default="MLFS,MLF-H,Tiresias,Graphene,TensorFlow",
+        help="comma-separated scheduler names",
+    )
+    p_cmp.add_argument("--out", default=None, help="write the Markdown report here")
+    return parser
+
+
+def _setup_from_args(args) -> SimulationSetup:
+    records = read_trace(args.trace)
+    return SimulationSetup(
+        records=records,
+        cluster_factory=lambda: Cluster.build(args.servers, args.gpus_per_server),
+        workload_seed=args.seed,
+        engine_config=EngineConfig(tick_seconds=args.tick_seconds),
+    )
+
+
+def cmd_trace(args) -> int:
+    """Generate and write a synthetic trace."""
+    records = generate_trace(
+        args.jobs, duration_seconds=args.hours * 3600.0, seed=args.seed
+    )
+    count = write_trace(records, args.out)
+    print(f"wrote {count} jobs to {args.out}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Run a single scheduler over a trace."""
+    setup = _setup_from_args(args)
+    result = run_simulation(scheduler_by_name(args.scheduler), setup)
+    for key, value in result.summary().items():
+        print(f"{key:24} {value:.3f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Compare schedulers over the same trace; emit a Markdown report."""
+    setup = _setup_from_args(args)
+    names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
+    schedulers = [scheduler_by_name(n) for n in names]
+    results = run_comparison(schedulers, setup)
+    report = render_report(results, title=f"Comparison on {args.trace}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {"trace": cmd_trace, "run": cmd_run, "compare": cmd_compare}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Cluster substrate: resources, GPUs, servers and the cluster aggregate."""
+
+from repro.cluster.cluster import Cluster, mean_utilization
+from repro.cluster.gpu import GPU
+from repro.cluster.resources import (
+    NUM_RESOURCE_KINDS,
+    ResourceKind,
+    ResourceVector,
+)
+from repro.cluster.server import DEFAULT_SERVER_CAPACITY, Server
+
+__all__ = [
+    "Cluster",
+    "GPU",
+    "NUM_RESOURCE_KINDS",
+    "ResourceKind",
+    "ResourceVector",
+    "Server",
+    "DEFAULT_SERVER_CAPACITY",
+    "mean_utilization",
+]

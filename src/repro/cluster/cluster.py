@@ -1,0 +1,134 @@
+"""The ML cluster: a set of servers plus the global waiting queue view.
+
+Provides the cluster-wide aggregates used by MLF-C (Section 3.5): the
+cluster utilization ``U_c`` and the overload degree
+``O_c = (1/|N|) * sum_s ||U_s||`` compared against the threshold ``h_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.server import DEFAULT_SERVER_CAPACITY, Server
+
+
+@dataclass
+class Cluster:
+    """A collection of :class:`~repro.cluster.server.Server` objects."""
+
+    servers: list[Server] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        num_servers: int,
+        gpus_per_server: int = 4,
+        capacity: Optional[ResourceVector] = None,
+    ) -> "Cluster":
+        """Construct a homogeneous cluster.
+
+        Defaults match the paper's real testbed shape: 20 servers with
+        4 GPUs each form the 80-GPU cluster; the large-scale simulation
+        uses 550 servers and 2474 GPUs.
+        """
+        base = capacity or DEFAULT_SERVER_CAPACITY
+        per_device = base.gpu / base.gpu if base.gpu else 1.0  # 1.0 per device
+        cap = ResourceVector(
+            gpu=float(gpus_per_server) * per_device,
+            cpu=base.cpu,
+            mem=base.mem,
+            bw=base.bw,
+        )
+        servers = [
+            Server(server_id=i, capacity=cap, num_gpus=gpus_per_server)
+            for i in range(num_servers)
+        ]
+        return cls(servers=servers)
+
+    # -- lookup ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self.servers)
+
+    def server(self, server_id: int) -> Server:
+        """Return the server with the given id."""
+        return self.servers[server_id]
+
+    @property
+    def total_gpus(self) -> int:
+        """Total number of GPU devices across all servers."""
+        return sum(s.num_gpus for s in self.servers)
+
+    def total_capacity(self) -> ResourceVector:
+        """Element-wise sum of every server's capacity."""
+        total = ResourceVector.zeros()
+        for server in self.servers:
+            total = total + server.capacity
+        return total
+
+    def total_load(self) -> ResourceVector:
+        """Element-wise sum of every server's current load."""
+        total = ResourceVector.zeros()
+        for server in self.servers:
+            total = total + server.load
+        return total
+
+    # -- overload predicates (Sections 3.3.2 / 3.5) ------------------------
+
+    def overloaded_servers(self, threshold: float) -> list[Server]:
+        """Servers with any resource utilization above ``h_r``."""
+        return [s for s in self.servers if s.is_overloaded(threshold)]
+
+    def underloaded_servers(self, threshold: float) -> list[Server]:
+        """Servers with every resource utilization at or below ``h_r``."""
+        return [s for s in self.servers if not s.is_overloaded(threshold)]
+
+    def cluster_utilization(self) -> list[ResourceVector]:
+        """The paper's ``U_c``: the list of per-server utilization vectors."""
+        return [s.utilization() for s in self.servers]
+
+    def overload_degree(self) -> float:
+        """``O_c`` — mean of per-server overload degrees (Section 3.5)."""
+        if not self.servers:
+            return 0.0
+        return sum(s.overload_degree() for s in self.servers) / len(self.servers)
+
+    def is_overloaded(self, threshold: float, queue_nonempty: bool = False) -> bool:
+        """MLF-C's system-overload predicate.
+
+        "The system is considered to be overloaded when there are tasks
+        in the queue or when ``O_c > h_s``" (Section 3.5).
+        """
+        return queue_nonempty or self.overload_degree() > threshold
+
+    # -- convenience -------------------------------------------------------
+
+    def running_tasks(self) -> list:
+        """All tasks currently placed on any server."""
+        tasks = []
+        for server in self.servers:
+            tasks.extend(server.tasks())
+        return tasks
+
+    def find_task_server(self, task_id: str) -> Optional[Server]:
+        """Locate the server hosting a task, or ``None``."""
+        for server in self.servers:
+            if any(t.task_id == task_id for t in server.tasks()):
+                return server
+        return None
+
+
+def mean_utilization(servers: Iterable[Server]) -> ResourceVector:
+    """Average utilization vector over a set of servers."""
+    servers = list(servers)
+    if not servers:
+        return ResourceVector.zeros()
+    total = ResourceVector.zeros()
+    for server in servers:
+        total = total + server.utilization()
+    return total * (1.0 / len(servers))

@@ -1,0 +1,80 @@
+"""A single GPU device inside a server.
+
+The paper schedules each task onto the least-loaded GPU of a chosen
+server (Section 3.3.2) and requires that no individual GPU become
+overloaded (Section 3.3.3).  A GPU here is a share-able device: every
+hosted task contributes a fractional ``gpu`` demand and the device's
+utilization is the sum of those demands over its capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.workload.job import Task
+
+
+@dataclass
+class GPU:
+    """One GPU device.
+
+    Parameters
+    ----------
+    gpu_id:
+        Index of the device within its server.
+    capacity:
+        Compute capacity in fractional device units; ``1.0`` for a whole
+        device.  A task demanding ``0.5`` occupies half the device.
+    """
+
+    gpu_id: int
+    capacity: float = 1.0
+    _tasks: dict[str, "Task"] = field(default_factory=dict, repr=False)
+    _load: float = field(default=0.0, repr=False)
+
+    @property
+    def load(self) -> float:
+        """Sum of the ``gpu`` demands of the hosted tasks."""
+        return self._load
+
+    @property
+    def utilization(self) -> float:
+        """Load normalized by capacity; may exceed 1.0 when oversubscribed."""
+        return self._load / self.capacity if self.capacity else 0.0
+
+    @property
+    def task_count(self) -> int:
+        """Number of tasks currently assigned to this device."""
+        return len(self._tasks)
+
+    def tasks(self) -> list["Task"]:
+        """Snapshot list of the tasks assigned to this device."""
+        return list(self._tasks.values())
+
+    def is_overloaded(self, threshold: float) -> bool:
+        """Whether utilization exceeds the overload threshold ``h_r``."""
+        return self.utilization > threshold
+
+    def would_overload(self, extra_gpu_demand: float, threshold: float) -> bool:
+        """Whether adding ``extra_gpu_demand`` would push past ``threshold``."""
+        if not self.capacity:
+            return extra_gpu_demand > 0
+        return (self._load + extra_gpu_demand) / self.capacity > threshold
+
+    def add_task(self, task: "Task") -> None:
+        """Account a task's GPU demand onto this device."""
+        if task.task_id in self._tasks:
+            raise ValueError(f"task {task.task_id} already on GPU {self.gpu_id}")
+        self._tasks[task.task_id] = task
+        self._load += task.true_demand.gpu
+
+    def remove_task(self, task: "Task") -> None:
+        """Release a task's GPU demand from this device."""
+        if task.task_id not in self._tasks:
+            raise KeyError(f"task {task.task_id} not on GPU {self.gpu_id}")
+        del self._tasks[task.task_id]
+        self._load -= task.true_demand.gpu
+        if self._load < 1e-12:
+            self._load = 0.0

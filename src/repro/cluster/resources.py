@@ -1,0 +1,166 @@
+"""Multi-resource vectors for servers and tasks.
+
+The paper (Section 3.3.2) models ``M`` resource types per server — GPU,
+CPU, memory and network bandwidth — and reasons about utilization vectors
+``U_s = (u_1, ..., u_M)`` for servers and ``U_k`` for tasks.  Overload is
+declared per resource against a threshold ``h_r`` and the RIAL-style
+placement/migration logic compares utilization vectors by Euclidean
+distance.  This module provides the small value type used everywhere for
+those vectors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, Iterator
+
+
+class ResourceKind(IntEnum):
+    """The resource dimensions tracked by the simulator.
+
+    The paper's experiments consider CPU, memory, GPU and bandwidth
+    cost (Section 4.1, "Experimental setting").  The integer values index
+    into :class:`ResourceVector` tuples.
+    """
+
+    GPU = 0
+    CPU = 1
+    MEM = 2
+    BW = 3
+
+
+#: Number of tracked resource kinds (``M`` in the paper).
+NUM_RESOURCE_KINDS = len(ResourceKind)
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceVector:
+    """An immutable 4-dimensional resource quantity.
+
+    Used both for absolute amounts (capacities, demands) and for
+    normalized utilizations in ``[0, 1]``.  Supports the arithmetic the
+    scheduling algorithms need: addition/subtraction for accounting,
+    element-wise division for normalizing a load by a capacity, Euclidean
+    norm and distance for the RIAL comparisons, and element-wise
+    min/max for building the "ideal virtual" vectors of Section 3.3.
+
+    Units are by convention: GPU in fractional devices, CPU in cores,
+    MEM in gigabytes, BW in megabytes per second.
+    """
+
+    gpu: float = 0.0
+    cpu: float = 0.0
+    mem: float = 0.0
+    bw: float = 0.0
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def zeros(cls) -> "ResourceVector":
+        """Return the all-zero vector."""
+        return cls()
+
+    @classmethod
+    def from_iterable(cls, values: Iterable[float]) -> "ResourceVector":
+        """Build a vector from four values ordered as :class:`ResourceKind`."""
+        gpu, cpu, mem, bw = values
+        return cls(float(gpu), float(cpu), float(mem), float(bw))
+
+    @classmethod
+    def uniform(cls, value: float) -> "ResourceVector":
+        """Return a vector with every component equal to ``value``."""
+        return cls(value, value, value, value)
+
+    # -- access ----------------------------------------------------------
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return the components ordered as :class:`ResourceKind`."""
+        return (self.gpu, self.cpu, self.mem, self.bw)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.as_tuple())
+
+    def __getitem__(self, kind: ResourceKind | int) -> float:
+        return self.as_tuple()[int(kind)]
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.gpu + other.gpu,
+            self.cpu + other.cpu,
+            self.mem + other.mem,
+            self.bw + other.bw,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.gpu - other.gpu,
+            self.cpu - other.cpu,
+            self.mem - other.mem,
+            self.bw - other.bw,
+        )
+
+    def __mul__(self, scalar: float) -> "ResourceVector":
+        return ResourceVector(
+            self.gpu * scalar, self.cpu * scalar, self.mem * scalar, self.bw * scalar
+        )
+
+    __rmul__ = __mul__
+
+    def divide_by(self, capacity: "ResourceVector") -> "ResourceVector":
+        """Element-wise division used to normalize a load by a capacity.
+
+        Components whose capacity is zero normalize to zero — a server
+        that has no resource of a kind cannot be loaded on that kind.
+        """
+        return ResourceVector(
+            self.gpu / capacity.gpu if capacity.gpu else 0.0,
+            self.cpu / capacity.cpu if capacity.cpu else 0.0,
+            self.mem / capacity.mem if capacity.mem else 0.0,
+            self.bw / capacity.bw if capacity.bw else 0.0,
+        )
+
+    # -- comparisons -------------------------------------------------------
+
+    def fits_within(self, other: "ResourceVector", tolerance: float = 1e-9) -> bool:
+        """Return ``True`` when every component is ``<=`` the other's."""
+        return all(a <= b + tolerance for a, b in zip(self, other))
+
+    def exceeds_any(self, threshold: float) -> bool:
+        """Return ``True`` when any component is strictly above ``threshold``."""
+        return any(v > threshold for v in self)
+
+    def clamp_nonnegative(self) -> "ResourceVector":
+        """Return a copy with negative components (accounting noise) zeroed."""
+        return ResourceVector(*(max(0.0, v) for v in self))
+
+    # -- geometry ----------------------------------------------------------
+
+    def norm(self) -> float:
+        """Euclidean norm — the paper's per-server overload degree ``O_s``."""
+        return math.sqrt(sum(v * v for v in self))
+
+    def distance_to(self, other: "ResourceVector") -> float:
+        """Euclidean distance used by the RIAL placement/migration rules."""
+        return (self - other).norm()
+
+    def element_max(self, other: "ResourceVector") -> "ResourceVector":
+        """Element-wise maximum."""
+        return ResourceVector(*(max(a, b) for a, b in zip(self, other)))
+
+    def element_min(self, other: "ResourceVector") -> "ResourceVector":
+        """Element-wise minimum."""
+        return ResourceVector(*(min(a, b) for a, b in zip(self, other)))
+
+    def max_component(self) -> float:
+        """The largest component, e.g. the most loaded resource dimension."""
+        return max(self.as_tuple())
+
+    def replace(self, kind: ResourceKind, value: float) -> "ResourceVector":
+        """Return a copy with the ``kind`` component set to ``value``."""
+        values = list(self.as_tuple())
+        values[int(kind)] = float(value)
+        return ResourceVector.from_iterable(values)

@@ -1,0 +1,138 @@
+"""A multi-GPU server with CPU, memory and bandwidth capacities.
+
+Mirrors the testbed of the paper's real experiments: AWS ``p3.8xlarge``
+instances with 4 Tesla V100 GPUs, 32 vCPUs and 244 GB of memory each
+(Section 4.1).  The server tracks the resource accounting needed by the
+overload predicates of Section 3.3 — per-resource utilization against
+``h_r`` and per-GPU utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.gpu import GPU
+from repro.cluster.resources import ResourceKind, ResourceVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.job import Task
+
+#: Capacity of one AWS p3.8xlarge-like server (4 GPUs, 32 vCPU, 244 GB,
+#: 10 Gb/s NIC expressed as 1250 MB/s).
+DEFAULT_SERVER_CAPACITY = ResourceVector(gpu=4.0, cpu=32.0, mem=244.0, bw=1250.0)
+
+
+@dataclass
+class Server:
+    """One server in the ML cluster.
+
+    Parameters
+    ----------
+    server_id:
+        Index of the server within the cluster.
+    capacity:
+        Total resources; the ``gpu`` component must equal the number of
+        GPU devices times their per-device capacity.
+    num_gpus:
+        Number of discrete GPU devices on the server.
+    """
+
+    server_id: int
+    capacity: ResourceVector = DEFAULT_SERVER_CAPACITY
+    num_gpus: int = 4
+    gpus: list[GPU] = field(default_factory=list)
+    _tasks: dict[str, "Task"] = field(default_factory=dict, repr=False)
+    _load: ResourceVector = field(default_factory=ResourceVector.zeros, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            per_gpu = self.capacity.gpu / self.num_gpus if self.num_gpus else 0.0
+            self.gpus = [GPU(gpu_id=i, capacity=per_gpu) for i in range(self.num_gpus)]
+
+    # -- load accounting ---------------------------------------------------
+
+    @property
+    def load(self) -> ResourceVector:
+        """Sum of the demands of all hosted tasks."""
+        return self._load
+
+    def utilization(self) -> ResourceVector:
+        """The paper's ``U_s`` vector: per-resource load over capacity."""
+        return self._load.divide_by(self.capacity).clamp_nonnegative()
+
+    def overload_degree(self) -> float:
+        """``O_s = ||U_s||`` — Euclidean norm of the utilization vector."""
+        return self.utilization().norm()
+
+    def is_overloaded(self, threshold: float) -> bool:
+        """True when any resource utilization exceeds ``h_r`` (Section 3.3.2)."""
+        return self.utilization().exceeds_any(threshold)
+
+    def overloaded_kinds(self, threshold: float) -> list[ResourceKind]:
+        """The resource kinds whose utilization exceeds ``threshold``."""
+        util = self.utilization()
+        return [kind for kind in ResourceKind if util[kind] > threshold]
+
+    def overloaded_gpus(self, threshold: float) -> list[GPU]:
+        """The GPU devices whose utilization exceeds ``threshold``."""
+        return [g for g in self.gpus if g.is_overloaded(threshold)]
+
+    def least_loaded_gpu(self) -> GPU:
+        """The GPU with the smallest utilization (placement target)."""
+        if not self.gpus:
+            raise RuntimeError(f"server {self.server_id} has no GPUs")
+        return min(self.gpus, key=lambda g: (g.utilization, g.gpu_id))
+
+    def would_overload(
+        self, demand: ResourceVector, threshold: float, gpu: Optional[GPU] = None
+    ) -> bool:
+        """Whether hosting ``demand`` would overload the server or the GPU.
+
+        The paper requires that the selected host "will not be overloaded
+        (on each resource and its least-loaded GPU) by hosting the task"
+        (Section 3.3.2).
+        """
+        candidate = (self._load + demand).divide_by(self.capacity)
+        if candidate.exceeds_any(threshold):
+            return True
+        target = gpu if gpu is not None else self.least_loaded_gpu()
+        return target.would_overload(demand.gpu, threshold)
+
+    # -- task placement ------------------------------------------------------
+
+    def tasks(self) -> list["Task"]:
+        """Snapshot list of the tasks hosted by this server."""
+        return list(self._tasks.values())
+
+    @property
+    def task_count(self) -> int:
+        """Number of tasks currently hosted."""
+        return len(self._tasks)
+
+    def place_task(self, task: "Task", gpu: Optional[GPU] = None) -> GPU:
+        """Host a task, assigning it to ``gpu`` or the least-loaded GPU.
+
+        Returns the GPU the task landed on.  The caller (the simulation
+        engine) is responsible for updating the task's own placement
+        bookkeeping.
+        """
+        if task.task_id in self._tasks:
+            raise ValueError(
+                f"task {task.task_id} already on server {self.server_id}"
+            )
+        target = gpu if gpu is not None else self.least_loaded_gpu()
+        target.add_task(task)
+        self._tasks[task.task_id] = task
+        self._load = self._load + task.true_demand
+        return target
+
+    def remove_task(self, task: "Task") -> None:
+        """Release a hosted task and its resource demand."""
+        if task.task_id not in self._tasks:
+            raise KeyError(f"task {task.task_id} not on server {self.server_id}")
+        gpu = self.gpus[task.gpu_id] if task.gpu_id is not None else None
+        if gpu is not None and task.task_id in {t.task_id for t in gpu.tasks()}:
+            gpu.remove_task(task)
+        del self._tasks[task.task_id]
+        self._load = (self._load - task.true_demand).clamp_nonnegative()

@@ -1,0 +1,139 @@
+"""MLFS configuration — the paper's tunable parameters.
+
+Defaults are the values of Section 4.1 ("Experimental setting"):
+``α=0.3, γ=0.8, γ_d=0.3, γ_r=0.3, γ_w=0.35, β=(0.5, 0.55, 0.25, 0.15,
+0.15), η=0.95, h_r=h_s=90%, p_s=10%``.  "In practice, these tunable
+parameters of a cluster are determined by the administrator."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PriorityWeights:
+    """Weights of the MLF-H priority formulas (Eqs. 2–6).
+
+    Attributes
+    ----------
+    alpha:
+        Blend between ML-feature and computation-feature priorities
+        (Eq. 6); larger values weight the ML features more.
+    gamma:
+        Dependency discount for child-priority propagation (Eq. 3/5).
+    gamma_d / gamma_r / gamma_w:
+        Computation-feature weights (Eq. 4): deadline closeness,
+        remaining running time, queue waiting time.
+    """
+
+    alpha: float = 0.3
+    gamma: float = 0.8
+    gamma_d: float = 0.3
+    gamma_r: float = 0.3
+    gamma_w: float = 0.35
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-domain weights."""
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if not 0.0 < self.gamma < 1.0:
+            raise ValueError(f"gamma must be in (0, 1), got {self.gamma}")
+        for name in ("gamma_d", "gamma_r", "gamma_w"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class RewardWeights:
+    """Reward weights ``β_1..β_5`` of Eq. 7, one per Eq. 1 objective.
+
+    ``β_2`` (deadline guarantee) carries the largest default weight, as
+    in the paper ("larger β_2 means more weights on deadline guarantee").
+    """
+
+    beta_jct: float = 0.5
+    beta_deadline: float = 0.55
+    beta_bandwidth: float = 0.25
+    beta_accuracy_met: float = 0.15
+    beta_accuracy: float = 0.15
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        """``(β_1, ..., β_5)`` in objective order."""
+        return (
+            self.beta_jct,
+            self.beta_deadline,
+            self.beta_bandwidth,
+            self.beta_accuracy_met,
+            self.beta_accuracy,
+        )
+
+
+@dataclass(frozen=True)
+class MLFSConfig:
+    """Full MLFS parameterization.
+
+    Attributes
+    ----------
+    priority:
+        Eq. 2–6 weights.
+    reward:
+        Eq. 7 weights.
+    eta:
+        RL future-reward discount ``η``.
+    overload_threshold:
+        Per-resource / per-GPU threshold ``h_r``.
+    system_overload_threshold:
+        Cluster threshold ``h_s`` for MLF-C.
+    migration_candidate_fraction:
+        ``p_s`` — when GPUs are overloaded, migration candidates come
+        from the lowest-priority ``p_s`` fraction of their tasks.
+    urgency_levels:
+        ``m`` — urgency coefficients live in ``[0, m]``.
+    use_ml_features / use_urgency / use_deadline / use_bandwidth:
+        Ablation switches for the Figure 6/7 experiments.
+    enable_migration:
+        Ablation switch for the Figure 8 experiment (MLF-H overload
+        handling).
+    enable_load_control:
+        Ablation switch for the Figure 9 experiment (MLF-C).
+    rl_switch_decisions:
+        MLF-RL takes over from MLF-H once this many heuristic decisions
+        have been recorded and imitation has converged.
+    """
+
+    priority: PriorityWeights = field(default_factory=PriorityWeights)
+    reward: RewardWeights = field(default_factory=RewardWeights)
+    eta: float = 0.95
+    overload_threshold: float = 0.90
+    system_overload_threshold: float = 0.90
+    migration_candidate_fraction: float = 0.10
+    urgency_levels: int = 10
+    use_ml_features: bool = True
+    use_urgency: bool = True
+    use_deadline: bool = True
+    use_bandwidth: bool = True
+    enable_migration: bool = True
+    enable_load_control: bool = True
+    rl_switch_decisions: int = 2000
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-domain parameters."""
+        self.priority.validate()
+        if not 0.0 < self.eta <= 1.0:
+            raise ValueError(f"eta must be in (0, 1], got {self.eta}")
+        for name in ("overload_threshold", "system_overload_threshold"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if not 0.0 < self.migration_candidate_fraction <= 1.0:
+            raise ValueError(
+                "migration_candidate_fraction must be in (0, 1], got "
+                f"{self.migration_candidate_fraction}"
+            )
+        if self.urgency_levels < 1:
+            raise ValueError("urgency_levels must be >= 1")
+
+
+#: The paper's default configuration.
+DEFAULT_CONFIG = MLFSConfig()

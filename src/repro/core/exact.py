@@ -1,0 +1,173 @@
+"""Exact multi-objective placement reference (toy scale).
+
+Section 3.2 notes that the Eq. 1 multi-objective problem "could use the
+adaptive epsilon constraint algorithm [28] to solve … however, due to
+its high computation overhead" MLFS uses heuristics instead.  This
+module provides that expensive reference at toy scale so the heuristics
+can be judged against the true Pareto frontier:
+
+* enumerate every feasible assignment of a task set onto a cluster
+  (exponential — only viable for a handful of tasks/servers);
+* score each assignment on one round's proxies of the Eq. 1 objectives:
+  load imbalance (a JCT proxy), cross-server communication volume (the
+  bandwidth objective) and peak overload degree (the deadline proxy);
+* run the epsilon-constraint method: optimize the primary objective
+  subject to progressively tightened bounds on the others, tracing the
+  Pareto frontier.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.sim.network import job_links
+from repro.workload.job import Task
+
+#: Refuse to enumerate more than this many assignments.
+MAX_ASSIGNMENTS = 2_000_000
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementScore:
+    """One round's objective proxies for a complete assignment.
+
+    All three components are costs (lower is better): ``imbalance`` is
+    the standard deviation proxy of server overload degrees (balanced
+    load → faster iterations → lower JCT), ``cross_volume_mb`` the
+    bandwidth objective, ``peak_degree`` the worst server's overload
+    degree (the deadline-risk proxy).
+    """
+
+    imbalance: float
+    cross_volume_mb: float
+    peak_degree: float
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.imbalance, self.cross_volume_mb, self.peak_degree)
+
+
+def enumerate_assignments(
+    tasks: Sequence[Task], cluster: Cluster, capacity_threshold: float = 1.0
+) -> Iterator[dict[str, int]]:
+    """Yield every feasible task→server assignment.
+
+    Feasible = no server exceeds ``capacity_threshold`` utilization on
+    any resource under the tasks' *estimated* demands.
+
+    Raises
+    ------
+    ValueError
+        If the search space exceeds :data:`MAX_ASSIGNMENTS`.
+    """
+    n = len(cluster.servers)
+    space = n ** len(tasks)
+    if space > MAX_ASSIGNMENTS:
+        raise ValueError(
+            f"{space} assignments exceed the toy-scale cap {MAX_ASSIGNMENTS}"
+        )
+    for combo in itertools.product(range(n), repeat=len(tasks)):
+        loads = {i: cluster.server(i).load for i in set(combo)}
+        feasible = True
+        for task, server_id in zip(tasks, combo):
+            loads[server_id] = loads[server_id] + task.demand
+        for server_id, load in loads.items():
+            util = load.divide_by(cluster.server(server_id).capacity)
+            if util.exceeds_any(capacity_threshold):
+                feasible = False
+                break
+        if feasible:
+            yield {t.task_id: s for t, s in zip(tasks, combo)}
+
+
+def score_assignment(
+    tasks: Sequence[Task], assignment: dict[str, int], cluster: Cluster
+) -> PlacementScore:
+    """Evaluate the three objective proxies for one assignment."""
+    degrees = []
+    for server in cluster.servers:
+        load = server.load
+        for task in tasks:
+            if assignment[task.task_id] == server.server_id:
+                load = load + task.demand
+        degrees.append(load.divide_by(server.capacity).norm())
+    mean = sum(degrees) / len(degrees)
+    imbalance = (sum((d - mean) ** 2 for d in degrees) / len(degrees)) ** 0.5
+
+    location = dict(assignment)
+    for job in {t.job for t in tasks}:
+        for task in job.tasks:
+            if task.task_id not in location and task.server_id is not None:
+                location[task.task_id] = task.server_id
+    cross = 0.0
+    for job in {t.job for t in tasks}:
+        for link in job_links(job):
+            src = location.get(link.src.task_id)
+            dst = location.get(link.dst.task_id)
+            if src is not None and dst is not None and src != dst:
+                cross += link.volume_mb
+    return PlacementScore(
+        imbalance=imbalance, cross_volume_mb=cross, peak_degree=max(degrees)
+    )
+
+
+def pareto_frontier(
+    scored: Sequence[tuple[dict[str, int], PlacementScore]]
+) -> list[tuple[dict[str, int], PlacementScore]]:
+    """Non-dominated assignments (all objectives are costs)."""
+    frontier = []
+    for assignment, score in scored:
+        dominated = False
+        for _other, other_score in scored:
+            if other_score == score:
+                continue
+            if all(
+                o <= s for o, s in zip(other_score.as_tuple(), score.as_tuple())
+            ) and any(
+                o < s for o, s in zip(other_score.as_tuple(), score.as_tuple())
+            ):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append((assignment, score))
+    return frontier
+
+
+def epsilon_constraint_solve(
+    tasks: Sequence[Task],
+    cluster: Cluster,
+    levels: int = 4,
+    capacity_threshold: float = 1.0,
+) -> Optional[tuple[dict[str, int], PlacementScore]]:
+    """Adaptive epsilon-constraint optimization over the toy instance.
+
+    Minimizes the imbalance (JCT proxy) subject to epsilon bounds on
+    bandwidth and peak degree; the bounds sweep from loose to tight in
+    ``levels`` steps and the best feasible solution under the tightest
+    satisfiable bounds is returned.  ``None`` when no assignment is
+    feasible at all.
+    """
+    scored = [
+        (assignment, score_assignment(tasks, assignment, cluster))
+        for assignment in enumerate_assignments(tasks, cluster, capacity_threshold)
+    ]
+    if not scored:
+        return None
+    volumes = [s.cross_volume_mb for _a, s in scored]
+    peaks = [s.peak_degree for _a, s in scored]
+    best: Optional[tuple[dict[str, int], PlacementScore]] = None
+    for level in range(levels, 0, -1):
+        frac = level / levels
+        eps_volume = min(volumes) + (max(volumes) - min(volumes)) * frac
+        eps_peak = min(peaks) + (max(peaks) - min(peaks)) * frac
+        feasible = [
+            (a, s)
+            for a, s in scored
+            if s.cross_volume_mb <= eps_volume + 1e-9 and s.peak_degree <= eps_peak + 1e-9
+        ]
+        if not feasible:
+            break
+        best = min(feasible, key=lambda item: item[1].imbalance)
+    return best

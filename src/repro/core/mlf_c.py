@@ -1,0 +1,79 @@
+"""MLF-C: ML-feature-based system load control (Section 3.5).
+
+Users pick a stop option at submission — (i) fixed iterations,
+(ii) OptStop, (iii) stop at required accuracy — and indicate whether the
+system may downgrade it.  "When the system is not overloaded, MLF-C
+follows the user choices …, and when the system is overloaded, MLF-C
+changes the choices based on the users' indications to reduce system
+workload."  The overload predicate is the cluster degree
+``O_c > h_s`` or a non-empty queue.
+
+Each round the controller refreshes every job's *effective* option and
+evaluates the OptStop rule, emitting :class:`JobStop` actions for jobs
+whose target is met (or provably unreachable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MLFSConfig
+from repro.learncurve.optstop import OptStopPolicy, StopDecision
+from repro.sim.interface import JobStop, SchedulingContext
+from repro.workload.job import Job, StopOption
+
+#: One-step downgrade ladder: i → ii → iii (Section 3.5).
+_DOWNGRADE: dict[StopOption, StopOption] = {
+    StopOption.FIXED_ITERATIONS: StopOption.OPT_STOP,
+    StopOption.OPT_STOP: StopOption.ACCURACY_ONLY,
+    StopOption.ACCURACY_ONLY: StopOption.ACCURACY_ONLY,
+}
+
+
+@dataclass
+class MLFCController:
+    """The load-control component composed into MLFS.
+
+    Parameters
+    ----------
+    queue_wait_threshold:
+        A queued task only signals overload once it has waited this
+        long — a task that arrived seconds ago and simply has not been
+        scheduled yet is not backlog.
+    """
+
+    config: MLFSConfig = field(default_factory=MLFSConfig)
+    optstop: OptStopPolicy = field(default_factory=OptStopPolicy)
+    queue_wait_threshold: float = 300.0
+
+    def effective_option(self, job: Job, overloaded: bool) -> StopOption:
+        """The stop option in force given the current overload state."""
+        if not overloaded or not job.allow_downgrade:
+            return job.stop_option
+        return _DOWNGRADE[job.stop_option]
+
+    def system_overloaded(self, ctx: SchedulingContext) -> bool:
+        """Section 3.5's predicate with a genuine-backlog refinement."""
+        backlog = any(
+            t.waiting_time(ctx.now) > self.queue_wait_threshold for t in ctx.queue
+        )
+        return ctx.cluster.is_overloaded(
+            ctx.system_overload_threshold, queue_nonempty=backlog
+        )
+
+    def apply(self, ctx: SchedulingContext) -> list[JobStop]:
+        """Refresh effective options and collect early-stop actions."""
+        if not self.config.enable_load_control:
+            return []
+        overloaded = self.system_overloaded(ctx)
+        stops: list[JobStop] = []
+        for job in ctx.active_jobs:
+            job.effective_stop_option = self.effective_option(job, overloaded)
+            if job.iterations_completed < 1 or job.is_complete:
+                continue
+            decision = self.optstop.evaluate(
+                job, ctx.accuracy_predictor, job.current_accuracy
+            )
+            if decision is not StopDecision.CONTINUE:
+                stops.append(JobStop(job=job, reason=decision.value))
+        return stops

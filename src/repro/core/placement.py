@@ -1,0 +1,162 @@
+"""RIAL-style host selection for tasks (Section 3.3.2).
+
+To place a task, MLF-H builds an *ideal virtual host server*
+
+``U_V = (u_1,V, ..., u_M,V, u_BW,V, q_k,V)``
+
+whose resource components are the minimum utilizations among the
+underloaded servers, whose bandwidth component is the *maximum*
+task↔server communication volume (so that high-volume communicating
+tasks co-locate), and whose movement-degradation component ``q`` is 0.
+The candidate closest to the ideal by Euclidean distance — and that
+would not be overloaded by hosting the task — wins; the task then goes
+to the server's least-loaded GPU.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.server import Server
+from repro.core.config import MLFSConfig
+from repro.sim.network import job_links
+from repro.sim.shadow import ShadowCluster
+from repro.workload.job import Job, Task
+
+
+@dataclass(frozen=True, slots=True)
+class HostChoice:
+    """Outcome of host selection for one task."""
+
+    server_id: int
+    gpu_id: int
+    distance: float
+
+
+@dataclass
+class TaskCommIndex:
+    """Per-task communication peers, cached per job.
+
+    For task ``k`` the index stores ``[(peer_task, volume_mb), ...]``
+    across dependency edges and sync links, enabling O(peers) queries of
+    the task↔server communication volume.
+    """
+
+    _peers: dict[str, list[tuple[Task, float]]] = field(default_factory=dict)
+    _indexed_jobs: set[str] = field(default_factory=set)
+
+    def _index_job(self, job: Job) -> None:
+        if job.job_id in self._indexed_jobs:
+            return
+        for link in job_links(job):
+            self._peers.setdefault(link.src.task_id, []).append(
+                (link.dst, link.volume_mb)
+            )
+            self._peers.setdefault(link.dst.task_id, []).append(
+                (link.src, link.volume_mb)
+            )
+        self._indexed_jobs.add(job.job_id)
+
+    def volume_to_server(
+        self, task: Task, server_id: int, shadow: ShadowCluster
+    ) -> float:
+        """Communication volume between ``task`` and tasks on ``server_id``."""
+        self._index_job(task.job)
+        total = 0.0
+        for peer, volume in self._peers.get(task.task_id, []):
+            if shadow.task_location(peer) == server_id:
+                total += volume
+        return total
+
+    def forget(self, job: Job) -> None:
+        """Drop the index of a finished job."""
+        if job.job_id in self._indexed_jobs:
+            for task in job.tasks:
+                self._peers.pop(task.task_id, None)
+            self._indexed_jobs.discard(job.job_id)
+
+
+@dataclass
+class PlacementEngine:
+    """Selects host servers per the ideal-virtual-server rule."""
+
+    config: MLFSConfig
+    comm_index: TaskCommIndex = field(default_factory=TaskCommIndex)
+
+    def candidate_servers(
+        self, task: Task, shadow: ShadowCluster
+    ) -> list[Server]:
+        """Underloaded servers that can host the task without overload."""
+        threshold = self.config.overload_threshold
+        return [
+            server
+            for server in shadow.underloaded_servers(threshold)
+            if not shadow.would_overload(server, task.demand, threshold)
+        ]
+
+    def select_host(
+        self,
+        task: Task,
+        shadow: ShadowCluster,
+        movement_penalty: float = 0.0,
+    ) -> Optional[HostChoice]:
+        """Pick the host closest to the ideal virtual server.
+
+        ``movement_penalty`` is the normalized performance degradation
+        ``q`` of moving this task (0 for fresh placements from the
+        queue, positive for migrations).  Returns ``None`` when no
+        underloaded server can host the task.
+        """
+        candidates = self.candidate_servers(task, shadow)
+        if not candidates:
+            return None
+        choice_id, distance = self._closest_to_ideal(
+            task, candidates, shadow, movement_penalty
+        )
+        server = shadow.cluster.server(choice_id)
+        gpu_id = shadow.least_loaded_gpu(server)
+        return HostChoice(server_id=choice_id, gpu_id=gpu_id, distance=distance)
+
+    def _closest_to_ideal(
+        self,
+        task: Task,
+        candidates: list[Server],
+        shadow: ShadowCluster,
+        movement_penalty: float,
+    ) -> tuple[int, float]:
+        utils = {s.server_id: shadow.utilization(s) for s in candidates}
+        ideal_components = [
+            min(utils[s.server_id][kind] for s in candidates) for kind in range(4)
+        ]
+        use_bw = self.config.use_bandwidth
+        volumes = {}
+        max_volume = 0.0
+        if use_bw:
+            for server in candidates:
+                volume = self.comm_index.volume_to_server(
+                    task, server.server_id, shadow
+                )
+                volumes[server.server_id] = volume
+                max_volume = max(max_volume, volume)
+
+        best_id = candidates[0].server_id
+        best_distance = math.inf
+        for server in candidates:
+            util = utils[server.server_id]
+            distance_sq = sum(
+                (util[kind] - ideal_components[kind]) ** 2 for kind in range(4)
+            )
+            if use_bw and max_volume > 0:
+                # Ideal = the maximum volume (normalized to 1): servers
+                # hosting more of the task's communication peers are
+                # closer to the ideal.
+                normalized = volumes[server.server_id] / max_volume
+                distance_sq += (normalized - 1.0) ** 2
+            distance_sq += movement_penalty**2
+            distance = math.sqrt(distance_sq)
+            if distance < best_distance - 1e-12:
+                best_distance = distance
+                best_id = server.server_id
+        return best_id, best_distance

@@ -1,0 +1,162 @@
+"""Scheduling objectives (Eq. 1) and the RL reward (Eq. 7).
+
+Equation 1 defines five objectives over a task-allocation plan ``A``:
+
+* ``g1 = 1 / avg JCT``
+* ``g2 = Σ 1(deadline met)``
+* ``g3 = 1 / Σ bandwidth``
+* ``g4 = Σ 1(accuracy met)``
+* ``g5 = avg accuracy``
+
+Equation 7 turns them into a scalar reward ``r_t = Σ β_i g_i(A)``.
+Counts are normalized to ratios and JCT/bandwidth measured in hours/GB
+so that the five terms live on comparable scales — otherwise a single
+weight vector cannot trade them off (the same practical concern that
+leads the paper to tune the β's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.config import RewardWeights
+from repro.workload.job import Job
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectiveValues:
+    """The five Eq. 1 objectives evaluated on a set of completed jobs."""
+
+    inverse_avg_jct: float
+    deadline_ratio: float
+    inverse_bandwidth: float
+    accuracy_met_ratio: float
+    average_accuracy: float
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        """``(g1, ..., g5)``."""
+        return (
+            self.inverse_avg_jct,
+            self.deadline_ratio,
+            self.inverse_bandwidth,
+            self.accuracy_met_ratio,
+            self.average_accuracy,
+        )
+
+
+def objective_values(
+    completed_jobs: Sequence[Job], bandwidth_mb: float
+) -> ObjectiveValues:
+    """Evaluate ``g1..g5`` over completed jobs and consumed bandwidth."""
+    jobs = [j for j in completed_jobs if j.completion_time is not None]
+    if not jobs:
+        return ObjectiveValues(0.0, 0.0, 0.0, 0.0, 0.0)
+    jcts_h = [(j.completion_time - j.arrival_time) / 3600.0 for j in jobs]
+    avg_jct = sum(jcts_h) / len(jcts_h)
+    deadline_ratio = sum(1 for j in jobs if j.met_deadline()) / len(jobs)
+    accuracy_ratio = sum(1 for j in jobs if j.met_accuracy()) / len(jobs)
+    accuracies = [
+        j.accuracy_at_deadline if j.accuracy_at_deadline is not None else j.final_accuracy
+        for j in jobs
+    ]
+    bandwidth_gb = bandwidth_mb / 1024.0
+    return ObjectiveValues(
+        inverse_avg_jct=1.0 / avg_jct if avg_jct > 0 else 0.0,
+        deadline_ratio=deadline_ratio,
+        inverse_bandwidth=1.0 / bandwidth_gb if bandwidth_gb > 0 else 1.0,
+        accuracy_met_ratio=accuracy_ratio,
+        average_accuracy=sum(accuracies) / len(accuracies),
+    )
+
+
+def reward(values: ObjectiveValues, weights: RewardWeights) -> float:
+    """Eq. 7: ``r_t = Σ β_i g_i``."""
+    betas = weights.as_tuple()
+    return sum(b * g for b, g in zip(betas, values.as_tuple()))
+
+
+@dataclass
+class RewardTracker:
+    """Computes per-round rewards during online RL.
+
+    "We compute the cumulative reward from t to t0 + tm as the reward
+    of scheduling decision at time t0" (Section 3.4): the tracker is fed
+    completed jobs and bandwidth increments as the simulation advances,
+    and :meth:`reward_between` evaluates Eq. 7 over a window.
+    """
+
+    weights: RewardWeights = field(default_factory=RewardWeights)
+    _completions: list[tuple[float, Job]] = field(default_factory=list)
+    _bandwidth_events: list[tuple[float, float]] = field(default_factory=list)
+
+    def note_completion(self, job: Job, now: float) -> None:
+        """Record a job completion."""
+        self._completions.append((now, job))
+
+    def note_bandwidth(self, mb: float, now: float) -> None:
+        """Record consumed cross-server bandwidth."""
+        if mb > 0:
+            self._bandwidth_events.append((now, mb))
+
+    def reward_between(self, start: float, end: float) -> float:
+        """Eq. 7 over the completions/bandwidth in ``[start, end]``."""
+        jobs = [j for (t, j) in self._completions if start <= t <= end]
+        bandwidth = sum(mb for (t, mb) in self._bandwidth_events if start <= t <= end)
+        return reward(objective_values(jobs, bandwidth), self.weights)
+
+    def prune(self, before: float) -> None:
+        """Drop events older than ``before`` to bound memory."""
+        self._completions = [(t, j) for (t, j) in self._completions if t >= before]
+        self._bandwidth_events = [
+            (t, mb) for (t, mb) in self._bandwidth_events if t >= before
+        ]
+
+
+def tune_reward_weights(
+    evaluate: "callable[[RewardWeights], float]",
+    base: Optional[RewardWeights] = None,
+    coarse_rounds: int = 10,
+    refine_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[RewardWeights, float]:
+    """Search for a good ``β`` combination (Section 3.4's tuning recipe).
+
+    The paper first runs "a limited number of rounds (e.g., 10)" of
+    global search, then "empirically tr[ies] different combinations by
+    slightly varying each value".  We mirror that: ``coarse_rounds``
+    random draws around the default, followed by one coordinate sweep
+    perturbing each β by ``±refine_fraction``.
+
+    ``evaluate`` maps a weight vector to the achieved Eq. 7 reward
+    (higher is better) — typically a short simulation run.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    base = base or RewardWeights()
+    best = base
+    best_score = evaluate(base)
+
+    def jitter(w: RewardWeights) -> RewardWeights:
+        return RewardWeights(
+            *(max(0.01, v * rng.uniform(0.5, 1.5)) for v in w.as_tuple())
+        )
+
+    for _ in range(coarse_rounds):
+        candidate = jitter(base)
+        score = evaluate(candidate)
+        if score > best_score:
+            best, best_score = candidate, score
+
+    fields_ = list(best.as_tuple())
+    for i in range(len(fields_)):
+        for direction in (-1.0, 1.0):
+            trial = list(fields_)
+            trial[i] = max(0.01, trial[i] * (1.0 + direction * refine_fraction))
+            candidate = RewardWeights(*trial)
+            score = evaluate(candidate)
+            if score > best_score:
+                best, best_score = candidate, score
+                fields_ = trial
+    return best, best_score

@@ -1,0 +1,171 @@
+"""Parametric learning-curve families.
+
+The weighted probabilistic learning-curve model of Domhan et al. [17] —
+which the paper adopts for accuracy prediction and OptStop (Sections 3.1
+and 3.5) — extrapolates training curves by fitting an ensemble of
+parametric families.  We implement the families most relevant to
+accuracy-vs-iteration curves, each with a closed-form evaluation and a
+NumPy-only least-squares fit (coarse grid search refined by coordinate
+descent, so no SciPy dependency is required at runtime).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+CurveFn = Callable[[np.ndarray, Sequence[float]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class CurveFamily:
+    """One parametric curve family.
+
+    Attributes
+    ----------
+    name:
+        Family identifier.
+    fn:
+        Vectorized evaluation ``fn(x, params) -> y``.
+    param_grids:
+        Per-parameter coarse search grids used to seed the fit.
+    """
+
+    name: str
+    fn: CurveFn
+    param_grids: tuple[tuple[float, ...], ...]
+
+    def __call__(self, x: np.ndarray, params: Sequence[float]) -> np.ndarray:
+        return self.fn(np.asarray(x, dtype=float), params)
+
+
+def _pow3(x: np.ndarray, p: Sequence[float]) -> np.ndarray:
+    """``c - a * x^(-alpha)`` — the classic power-law saturation."""
+    c, a, alpha = p
+    return c - a * np.power(np.maximum(x, 1e-9), -alpha)
+
+
+def _log_power(x: np.ndarray, p: Sequence[float]) -> np.ndarray:
+    """``c / (1 + (x / e^b)^(-a))`` — log-power sigmoid."""
+    c, a, b = p
+    x = np.maximum(x, 1e-9)
+    return c / (1.0 + np.power(x / math.exp(b), -a))
+
+
+def _vapor_pressure(x: np.ndarray, p: Sequence[float]) -> np.ndarray:
+    """``exp(a + b / x + c * log(x))`` — vapor-pressure curve."""
+    a, b, c = p
+    x = np.maximum(x, 1e-9)
+    return np.exp(a + b / x + c * np.log(x))
+
+
+def _mmf(x: np.ndarray, p: Sequence[float]) -> np.ndarray:
+    """``c * x / (x + k)`` — Michaelis–Menten/hyperbolic saturation."""
+    c, k, _unused = p
+    x = np.maximum(x, 0.0)
+    return c * x / (x + max(k, 1e-9))
+
+
+#: The ensemble members, ordered deterministically.
+CURVE_FAMILIES: tuple[CurveFamily, ...] = (
+    CurveFamily(
+        name="pow3",
+        fn=_pow3,
+        param_grids=(
+            tuple(np.linspace(0.3, 1.0, 8)),
+            tuple(np.linspace(0.1, 1.5, 8)),
+            tuple(np.linspace(0.2, 2.0, 8)),
+        ),
+    ),
+    CurveFamily(
+        name="log_power",
+        fn=_log_power,
+        param_grids=(
+            tuple(np.linspace(0.3, 1.0, 8)),
+            tuple(np.linspace(0.5, 3.0, 6)),
+            tuple(np.linspace(0.0, 3.0, 6)),
+        ),
+    ),
+    CurveFamily(
+        name="vapor_pressure",
+        fn=_vapor_pressure,
+        param_grids=(
+            tuple(np.linspace(-2.0, 0.0, 6)),
+            tuple(np.linspace(-3.0, 0.0, 6)),
+            tuple(np.linspace(0.0, 0.4, 6)),
+        ),
+    ),
+    CurveFamily(
+        name="mmf",
+        fn=_mmf,
+        param_grids=(
+            tuple(np.linspace(0.3, 1.0, 10)),
+            tuple(np.linspace(0.5, 30.0, 10)),
+            (0.0,),
+        ),
+    ),
+)
+
+
+def sse(family: CurveFamily, params: Sequence[float], x: np.ndarray, y: np.ndarray) -> float:
+    """Sum of squared errors of a parameterization on observations."""
+    pred = family(x, params)
+    if not np.all(np.isfinite(pred)):
+        return float("inf")
+    return float(np.sum((pred - y) ** 2))
+
+
+def fit_family(
+    family: CurveFamily,
+    x: Sequence[float],
+    y: Sequence[float],
+    refine_rounds: int = 3,
+) -> tuple[list[float], float]:
+    """Fit one family by grid search + coordinate refinement.
+
+    Returns ``(params, sse)``.  Deterministic; NumPy only.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.size == 0:
+        raise ValueError("cannot fit a curve to zero observations")
+
+    # Coarse grid search over the cartesian product.
+    best_params: list[float] | None = None
+    best_err = float("inf")
+    grids = family.param_grids
+    stack = [[]]
+    for grid in grids:
+        stack = [prefix + [value] for prefix in stack for value in grid]
+    for candidate in stack:
+        err = sse(family, candidate, xa, ya)
+        if err < best_err:
+            best_err = err
+            best_params = list(candidate)
+    assert best_params is not None
+
+    # Coordinate-descent refinement around the best grid point.
+    step_fractions = (0.5, 0.25, 0.1)[:refine_rounds]
+    for frac in step_fractions:
+        for i in range(len(best_params)):
+            span = _grid_span(grids[i]) * frac
+            if span <= 0:
+                continue
+            for delta in (-span, span, -span / 2, span / 2):
+                trial = list(best_params)
+                trial[i] += delta
+                err = sse(family, trial, xa, ya)
+                if err < best_err:
+                    best_err = err
+                    best_params = trial
+    return best_params, best_err
+
+
+def _grid_span(grid: tuple[float, ...]) -> float:
+    """Spacing scale of a search grid."""
+    if len(grid) < 2:
+        return 0.0
+    return (max(grid) - min(grid)) / (len(grid) - 1)

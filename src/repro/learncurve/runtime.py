@@ -1,0 +1,107 @@
+"""Runtime prediction service (paper Section 3.1, via Optimus [42]).
+
+The paper assumes "the total job running time can be predicted
+accurately … 89% prediction accuracy for the jobs that ran previously
+and 70% … for the jobs that didn't".  Optimus fits observed per-iteration
+times online; we do the same: the predictor records iteration durations,
+estimates the steady per-iteration time by a robust mean, and
+extrapolates the remaining runtime.  For never-observed jobs it falls
+back to the workload builder's analytic estimate with a configurable
+error factor reproducing the 70%-accuracy regime.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.workload.job import Job
+
+
+@dataclass
+class RuntimePredictor:
+    """Online per-job runtime predictor.
+
+    Parameters
+    ----------
+    cold_error_std:
+        Std-dev of the multiplicative error applied to the analytic
+        estimate for jobs with no observed iterations (the "didn't run
+        previously" regime).
+    warm_error_std:
+        Std-dev applied to observation-based predictions.
+    window:
+        Number of most recent iteration durations averaged.
+    """
+
+    cold_error_std: float = 0.30
+    warm_error_std: float = 0.11
+    window: int = 8
+    seed: int = 0
+
+    _rng: random.Random = field(init=False, repr=False)
+    _durations: dict[str, list[float]] = field(default_factory=dict, repr=False)
+    _cold_factor: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def observe_iteration(self, job: Job, duration: float) -> None:
+        """Record the wall time of one completed iteration."""
+        if duration < 0:
+            raise ValueError("iteration duration cannot be negative")
+        samples = self._durations.setdefault(job.job_id, [])
+        samples.append(duration)
+        if len(samples) > 4 * self.window:
+            del samples[: -2 * self.window]
+
+    def has_history(self, job: Job) -> bool:
+        """Whether the job has any observed iterations."""
+        return bool(self._durations.get(job.job_id))
+
+    def iteration_time(self, job: Job) -> float:
+        """Estimated time of the job's next iteration."""
+        samples = self._durations.get(job.job_id)
+        if samples:
+            recent = samples[-self.window :]
+            return sum(recent) / len(recent)
+        per_iter = (
+            job.estimated_duration / job.max_iterations
+            if job.max_iterations
+            else job.estimated_duration
+        )
+        return per_iter * self._cold(job)
+
+    def remaining_time(self, job: Job) -> float:
+        """Predicted time to finish the job's remaining iterations.
+
+        This is the paper's ``r_{k,J} = t_{k,J} - p_{k,J}`` at job
+        granularity: estimated per-iteration time times remaining
+        iterations, with the observation-noise regime matching whether
+        the job ran before.
+        """
+        remaining = job.remaining_iterations
+        if remaining <= 0:
+            return 0.0
+        base = self.iteration_time(job) * remaining
+        if self._durations.get(job.job_id) and self.warm_error_std > 0:
+            return max(0.0, base * (1.0 + self._rng.gauss(0.0, self.warm_error_std)))
+        return base
+
+    def total_time(self, job: Job) -> float:
+        """Predicted total execution time of the job (``t_e``)."""
+        return self.iteration_time(job) * max(1, job.max_iterations)
+
+    def forget(self, job: Job) -> None:
+        """Drop all state for a finished job."""
+        self._durations.pop(job.job_id, None)
+        self._cold_factor.pop(job.job_id, None)
+
+    def _cold(self, job: Job) -> float:
+        """Sticky multiplicative error for never-observed jobs."""
+        if job.job_id not in self._cold_factor:
+            factor = 1.0
+            if self.cold_error_std > 0:
+                factor = max(0.3, 1.0 + self._rng.gauss(0.0, self.cold_error_std))
+            self._cold_factor[job.job_id] = factor
+        return self._cold_factor[job.job_id]

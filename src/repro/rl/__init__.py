@@ -1,0 +1,25 @@
+"""NumPy RL substrate: MLP, optimizers, scoring policy, REINFORCE."""
+
+from repro.rl.nn import MLP, relu, relu_grad, softmax
+from repro.rl.optim import SGD, Adam, clip_gradients
+from repro.rl.policy import CandidateChoice, ScoringPolicy
+from repro.rl.reinforce import ImitationTrainer, ReinforceTrainer
+from repro.rl.replay import Decision, ImitationBuffer, RewardBaseline, Trajectory
+
+__all__ = [
+    "Adam",
+    "CandidateChoice",
+    "Decision",
+    "ImitationBuffer",
+    "ImitationTrainer",
+    "MLP",
+    "ReinforceTrainer",
+    "RewardBaseline",
+    "SGD",
+    "ScoringPolicy",
+    "Trajectory",
+    "clip_gradients",
+    "relu",
+    "relu_grad",
+    "softmax",
+]

@@ -1,0 +1,142 @@
+"""A minimal NumPy multilayer perceptron with manual backprop.
+
+The paper's MLF-RL "uses DNN to serve as the agent" (Section 3.4); a
+pure-NumPy MLP is sufficient at simulator scale and keeps the library
+dependency-free.  The network maps a feature vector to a scalar score
+(or a logits vector); gradients flow through :meth:`MLP.backward`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU w.r.t. its input."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=-1, keepdims=True)
+
+
+@dataclass
+class MLP:
+    """A fully-connected network with ReLU hidden layers.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[input, hidden..., output]`` — at least two entries.
+    seed:
+        Seed for He-initialized weights.
+    """
+
+    layer_sizes: Sequence[int]
+    seed: int = 0
+    weights: list[np.ndarray] = field(default_factory=list)
+    biases: list[np.ndarray] = field(default_factory=list)
+    _cache: list[tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=list, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.layer_sizes) < 2:
+            raise ValueError("layer_sizes needs at least input and output sizes")
+        if not self.weights:
+            rng = np.random.default_rng(self.seed)
+            for fan_in, fan_out in zip(self.layer_sizes, self.layer_sizes[1:]):
+                scale = np.sqrt(2.0 / fan_in)
+                self.weights.append(
+                    rng.normal(0.0, scale, size=(fan_in, fan_out)).astype(np.float64)
+                )
+                self.biases.append(np.zeros(fan_out, dtype=np.float64))
+
+    @property
+    def input_size(self) -> int:
+        """Expected feature dimension."""
+        return int(self.layer_sizes[0])
+
+    @property
+    def output_size(self) -> int:
+        """Output dimension."""
+        return int(self.layer_sizes[-1])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches activations for :meth:`backward`.
+
+        ``x`` has shape ``(batch, input_size)``; returns
+        ``(batch, output_size)``.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        self._cache = []
+        h = x
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            self._cache.append((h, z))
+            h = z if i == last else relu(z)
+        return h
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass without touching the gradient cache."""
+        h = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            h = z if i == last else relu(z)
+        return h
+
+    def backward(self, grad_out: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Backpropagate ``d loss / d output``; returns per-layer grads.
+
+        Must follow a :meth:`forward` call.  Returns
+        ``[(dW_0, db_0), ...]`` in layer order.
+        """
+        if not self._cache:
+            raise RuntimeError("backward() called before forward()")
+        grads: list[tuple[np.ndarray, np.ndarray]] = [None] * len(self.weights)  # type: ignore[list-item]
+        grad = np.atleast_2d(np.asarray(grad_out, dtype=np.float64))
+        last = len(self.weights) - 1
+        for i in range(last, -1, -1):
+            inp, z = self._cache[i]
+            if i != last:
+                grad = grad * relu_grad(z)
+            grads[i] = (inp.T @ grad, grad.sum(axis=0))
+            if i > 0:
+                grad = grad @ self.weights[i].T
+        return grads
+
+    # -- (de)serialization --------------------------------------------------
+
+    def get_parameters(self) -> list[np.ndarray]:
+        """Flat list of parameter arrays (weights then bias per layer)."""
+        params: list[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            params.extend((w, b))
+        return params
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serializable parameter snapshot."""
+        state: dict[str, np.ndarray] = {}
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            state[f"w{i}"] = w.copy()
+            state[f"b{i}"] = b.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters saved by :meth:`state_dict`."""
+        for i in range(len(self.weights)):
+            self.weights[i] = np.asarray(state[f"w{i}"], dtype=np.float64).copy()
+            self.biases[i] = np.asarray(state[f"b{i}"], dtype=np.float64).copy()

@@ -1,0 +1,86 @@
+"""Optimizers for the NumPy networks: SGD and Adam."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.rl.nn import MLP
+
+
+@dataclass
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    learning_rate: float = 1e-2
+    momentum: float = 0.0
+    _velocity: list[np.ndarray] = field(default_factory=list, repr=False)
+
+    def step(self, model: MLP, grads: Sequence[tuple[np.ndarray, np.ndarray]]) -> None:
+        """Apply one update given grads from :meth:`MLP.backward`."""
+        flat_grads = _flatten(grads)
+        params = model.get_parameters()
+        if not self._velocity:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, flat_grads, self._velocity):
+            v *= self.momentum
+            v -= self.learning_rate * g
+            p += v
+
+
+@dataclass
+class Adam:
+    """Adam (Kingma & Ba) — the default policy-network optimizer."""
+
+    learning_rate: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    _m: list[np.ndarray] = field(default_factory=list, repr=False)
+    _v: list[np.ndarray] = field(default_factory=list, repr=False)
+    _t: int = 0
+
+    def step(self, model: MLP, grads: Sequence[tuple[np.ndarray, np.ndarray]]) -> None:
+        """Apply one Adam update given grads from :meth:`MLP.backward`."""
+        flat_grads = _flatten(grads)
+        params = model.get_parameters()
+        if not self._m:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, flat_grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def _flatten(
+    grads: Sequence[tuple[np.ndarray, np.ndarray]]
+) -> list[np.ndarray]:
+    """Interleave (dW, db) pairs to match ``MLP.get_parameters`` order."""
+    flat: list[np.ndarray] = []
+    for dw, db in grads:
+        flat.extend((dw, db))
+    return flat
+
+
+def clip_gradients(
+    grads: Sequence[tuple[np.ndarray, np.ndarray]], max_norm: float
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Scale gradients so their global L2 norm is at most ``max_norm``."""
+    total = 0.0
+    for dw, db in grads:
+        total += float(np.sum(dw * dw)) + float(np.sum(db * db))
+    norm = np.sqrt(total)
+    if norm <= max_norm or norm == 0.0:
+        return list(grads)
+    scale = max_norm / norm
+    return [(dw * scale, db * scale) for dw, db in grads]

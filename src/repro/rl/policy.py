@@ -1,0 +1,172 @@
+"""Softmax scoring policy over variable-size candidate sets.
+
+Scheduling actions are "pick one of these candidates" decisions — e.g.
+*which server should host this task* — where the candidate count varies
+per decision.  The policy scores each candidate's feature vector with a
+shared MLP and normalizes with a softmax, the standard pointer-style
+construction for RL schedulers (cf. DeepRM/Decima [35, 37] and the
+device-placement RL of [39]).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.rl.nn import MLP, softmax
+from repro.rl.optim import Adam, clip_gradients
+
+
+@dataclass
+class CandidateChoice:
+    """Result of one policy decision."""
+
+    index: int
+    probability: float
+    log_prob: float
+    scores: np.ndarray
+
+
+@dataclass
+class ScoringPolicy:
+    """An MLP that scores candidates; softmax over scores is the policy.
+
+    Parameters
+    ----------
+    feature_size:
+        Dimension of each candidate's feature vector.
+    hidden_sizes:
+        Hidden-layer widths of the scoring MLP.
+    temperature:
+        Softmax temperature; lower = greedier.
+    seed:
+        Seeds both the network init and the sampling RNG.
+    """
+
+    feature_size: int
+    hidden_sizes: tuple[int, ...] = (64, 32)
+    temperature: float = 1.0
+    seed: int = 0
+    model: MLP = field(init=False)
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        sizes = [self.feature_size, *self.hidden_sizes, 1]
+        self.model = MLP(sizes, seed=self.seed)
+        self._rng = random.Random(self.seed + 1)
+
+    # -- inference ----------------------------------------------------------
+
+    def scores(self, features: np.ndarray) -> np.ndarray:
+        """Raw scores, one per candidate row."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if features.shape[1] != self.feature_size:
+            raise ValueError(
+                f"expected feature size {self.feature_size}, got {features.shape[1]}"
+            )
+        return self.model.predict(features)[:, 0]
+
+    def probabilities(self, features: np.ndarray) -> np.ndarray:
+        """Softmax distribution over candidates."""
+        raw = self.scores(features) / max(self.temperature, 1e-6)
+        return softmax(raw[None, :])[0]
+
+    def choose(self, features: np.ndarray, greedy: bool = True) -> CandidateChoice:
+        """Pick a candidate — argmax when ``greedy``, else sampled."""
+        probs = self.probabilities(features)
+        if greedy:
+            index = int(np.argmax(probs))
+        else:
+            r = self._rng.random()
+            cumulative = 0.0
+            index = len(probs) - 1
+            for i, p in enumerate(probs):
+                cumulative += p
+                if r <= cumulative:
+                    index = i
+                    break
+        p = float(probs[index])
+        return CandidateChoice(
+            index=index,
+            probability=p,
+            log_prob=math.log(max(p, 1e-12)),
+            scores=self.scores(features),
+        )
+
+    # -- training ----------------------------------------------------------
+
+    def policy_gradient_step(
+        self,
+        features: np.ndarray,
+        chosen_index: int,
+        advantage: float,
+        optimizer: Adam,
+        max_grad_norm: float = 5.0,
+        entropy_bonus: float = 0.0,
+    ) -> float:
+        """One REINFORCE update on a single decision.
+
+        Maximizes ``advantage * log π(chosen)`` (+ optional entropy).
+        Returns the log-probability of the chosen candidate before the
+        update (useful for diagnostics).
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        raw = self.model.forward(features)[:, 0] / max(self.temperature, 1e-6)
+        probs = softmax(raw[None, :])[0]
+        log_prob = math.log(max(float(probs[chosen_index]), 1e-12))
+
+        # d(-advantage * log p_c)/d raw_i = -advantage * (1[i==c] - p_i)
+        grad_raw = probs.copy()
+        grad_raw[chosen_index] -= 1.0
+        grad_raw *= advantage
+        if entropy_bonus > 0.0:
+            # d(-H)/d raw = p * (log p + H)
+            entropy = -float(np.sum(probs * np.log(np.maximum(probs, 1e-12))))
+            grad_raw += entropy_bonus * probs * (
+                np.log(np.maximum(probs, 1e-12)) + entropy
+            )
+        grad_out = (grad_raw / max(self.temperature, 1e-6))[:, None]
+        grads = clip_gradients(self.model.backward(grad_out), max_grad_norm)
+        optimizer.step(self.model, grads)
+        return log_prob
+
+    def imitation_step(
+        self,
+        features: np.ndarray,
+        expert_index: int,
+        optimizer: Adam,
+        max_grad_norm: float = 5.0,
+    ) -> float:
+        """One cross-entropy update toward an expert's choice.
+
+        Used to bootstrap MLF-RL from MLF-H decisions ("MLFS initially
+        runs MLF-H ... and uses the data to train a deep RL model").
+        Returns the cross-entropy loss before the update.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        raw = self.model.forward(features)[:, 0] / max(self.temperature, 1e-6)
+        probs = softmax(raw[None, :])[0]
+        loss = -math.log(max(float(probs[expert_index]), 1e-12))
+        grad_raw = probs.copy()
+        grad_raw[expert_index] -= 1.0
+        grad_out = (grad_raw / max(self.temperature, 1e-6))[:, None]
+        grads = clip_gradients(self.model.backward(grad_out), max_grad_norm)
+        optimizer.step(self.model, grads)
+        return loss
+
+    def expert_agreement(
+        self, dataset: Sequence[tuple[np.ndarray, int]], limit: Optional[int] = None
+    ) -> float:
+        """Fraction of decisions where argmax matches the expert."""
+        if not dataset:
+            return 0.0
+        rows = dataset[:limit] if limit else dataset
+        hits = 0
+        for features, expert_index in rows:
+            if int(np.argmax(self.scores(features))) == expert_index:
+                hits += 1
+        return hits / len(rows)

@@ -1,0 +1,116 @@
+"""Training loops: imitation pretraining and REINFORCE fine-tuning.
+
+Implements the paper's two-phase recipe (Section 3.4): MLFS "initially
+runs MLF-H for a certain time period and uses the data to train a deep
+RL model" (imitation over recorded heuristic decisions), then the policy
+is refined with policy-gradient updates on the Eq. 7 reward, "utilizing
+gradient-descent to update θ" per [51].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.rl.optim import Adam
+from repro.rl.policy import ScoringPolicy
+from repro.rl.replay import ImitationBuffer, RewardBaseline, Trajectory
+
+
+@dataclass
+class ImitationTrainer:
+    """Supervised pretraining from an expert-decision buffer."""
+
+    policy: ScoringPolicy
+    learning_rate: float = 1e-3
+    optimizer: Adam = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.optimizer = Adam(learning_rate=self.learning_rate)
+
+    def train(
+        self,
+        buffer: ImitationBuffer,
+        epochs: int = 3,
+        batch_per_epoch: Optional[int] = None,
+        target_agreement: float = 0.95,
+    ) -> dict[str, float]:
+        """Fit the policy to the buffer.
+
+        Stops early once argmax agreement with the expert reaches
+        ``target_agreement`` — the "well trained (i.e., converged)"
+        switch condition.  Returns training statistics.
+        """
+        if len(buffer) == 0:
+            return {"epochs": 0.0, "loss": 0.0, "agreement": 0.0}
+        total_loss = 0.0
+        steps = 0
+        epochs_run = 0
+        for _epoch in range(epochs):
+            epochs_run += 1
+            batch = buffer.sample(batch_per_epoch or len(buffer))
+            for decision in batch:
+                total_loss += self.policy.imitation_step(
+                    decision.features, decision.chosen_index, self.optimizer
+                )
+                steps += 1
+            agreement = self.policy.expert_agreement(buffer.pairs(), limit=500)
+            if agreement >= target_agreement:
+                break
+        return {
+            "epochs": float(epochs_run),
+            "loss": total_loss / max(steps, 1),
+            "agreement": self.policy.expert_agreement(buffer.pairs(), limit=500),
+        }
+
+
+@dataclass
+class ReinforceTrainer:
+    """Episodic REINFORCE with a moving-average baseline.
+
+    ``discount`` is the paper's ``η`` (default 0.95, Section 4.1).
+    """
+
+    policy: ScoringPolicy
+    discount: float = 0.95
+    learning_rate: float = 5e-4
+    entropy_bonus: float = 1e-3
+    optimizer: Adam = field(init=False)
+    baseline: RewardBaseline = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.optimizer = Adam(learning_rate=self.learning_rate)
+        self.baseline = RewardBaseline(decay=self.discount)
+
+    def train_on_trajectory(self, trajectory: Trajectory) -> dict[str, float]:
+        """Apply policy-gradient updates for one recorded episode."""
+        if len(trajectory) == 0:
+            return {"steps": 0.0, "mean_return": 0.0}
+        returns = trajectory.discounted_returns(self.discount)
+        mean_return = sum(returns) / len(returns)
+        for decision, g in zip(trajectory.decisions, returns):
+            advantage = self.baseline.update(g)
+            self.policy.policy_gradient_step(
+                decision.features,
+                decision.chosen_index,
+                advantage,
+                self.optimizer,
+                entropy_bonus=self.entropy_bonus,
+            )
+        return {"steps": float(len(trajectory)), "mean_return": mean_return}
+
+    def train_episodes(
+        self,
+        run_episode: Callable[[ScoringPolicy], Trajectory],
+        episodes: int = 10,
+    ) -> list[dict[str, float]]:
+        """Run ``episodes`` environment episodes, updating after each.
+
+        ``run_episode`` executes the environment with the current policy
+        (sampling actions) and returns the trajectory.
+        """
+        history = []
+        for _ in range(episodes):
+            trajectory = run_episode(self.policy)
+            history.append(self.train_on_trajectory(trajectory))
+        return history

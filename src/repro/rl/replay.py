@@ -1,0 +1,114 @@
+"""Experience storage: imitation datasets and reward trajectories."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded scheduling decision.
+
+    ``features`` is the (candidates × feature_size) matrix the policy
+    saw; ``chosen_index`` the candidate taken (by the expert heuristic
+    during imitation, or by the policy during RL).
+    """
+
+    features: np.ndarray
+    chosen_index: int
+    log_prob: float = 0.0
+
+
+@dataclass
+class ImitationBuffer:
+    """Dataset of expert decisions for supervised pretraining.
+
+    Bounded: once ``capacity`` is reached, new samples overwrite old
+    ones uniformly at random (reservoir-style), keeping the dataset
+    representative of the whole heuristic run.
+    """
+
+    capacity: int = 50_000
+    seed: int = 0
+    _items: list[Decision] = field(default_factory=list, repr=False)
+    _seen: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def add(self, decision: Decision) -> None:
+        """Insert one expert decision."""
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(decision)
+        else:
+            slot = self._rng.randrange(self._seen)
+            if slot < self.capacity:
+                self._items[slot] = decision
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Decision]:
+        return iter(self._items)
+
+    def sample(self, count: int) -> list[Decision]:
+        """Uniform sample without replacement (up to buffer size)."""
+        count = min(count, len(self._items))
+        return self._rng.sample(self._items, count)
+
+    def pairs(self) -> list[tuple[np.ndarray, int]]:
+        """(features, expert_index) view for agreement metrics."""
+        return [(d.features, d.chosen_index) for d in self._items]
+
+
+@dataclass
+class Trajectory:
+    """One episode of decisions with per-step rewards."""
+
+    decisions: list[Decision] = field(default_factory=list)
+    rewards: list[float] = field(default_factory=list)
+
+    def add_step(self, decision: Decision, reward: float) -> None:
+        """Append one (decision, reward) step."""
+        self.decisions.append(decision)
+        self.rewards.append(reward)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def discounted_returns(self, discount: float) -> list[float]:
+        """Per-step discounted return ``G_t = Σ η^k r_{t+k}`` (Section 3.4)."""
+        returns: list[float] = [0.0] * len(self.rewards)
+        running = 0.0
+        for t in range(len(self.rewards) - 1, -1, -1):
+            running = self.rewards[t] + discount * running
+            returns[t] = running
+        return returns
+
+
+@dataclass
+class RewardBaseline:
+    """Exponential-moving-average baseline for variance reduction."""
+
+    decay: float = 0.95
+    _value: Optional[float] = None
+
+    @property
+    def value(self) -> float:
+        """Current baseline (0 before any update)."""
+        return self._value if self._value is not None else 0.0
+
+    def update(self, sample: float) -> float:
+        """Fold in a new return; returns the advantage vs the old baseline."""
+        advantage = sample - self.value
+        if self._value is None:
+            self._value = sample
+        else:
+            self._value = self.decay * self._value + (1.0 - self.decay) * sample
+        return advantage

@@ -1,0 +1,412 @@
+"""The discrete-event simulation engine.
+
+Drives a workload of jobs through a cluster under a pluggable scheduling
+policy, reproducing the paper's experimental loop: "The job scheduler
+runs every minute" (Section 4.1); tasks are queued, placed, migrated and
+preempted at scheduler rounds; fully-placed jobs execute training
+iterations whose durations come from :mod:`repro.sim.execution`; every
+completed iteration updates the loss/accuracy state the ML-feature
+priorities feed on.
+
+Liveness guard: a task-granular scheduler can leave a job partially
+placed (holding GPUs while unable to iterate).  Real clusters break such
+stalemates with admission timeouts; the engine evicts all placed tasks
+of a job that has been partially placed for ``stall_ticks`` consecutive
+rounds, returning them to the queue.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.learncurve.accuracy import AccuracyPredictor
+from repro.learncurve.runtime import RuntimePredictor
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.execution import ExecutionModel
+from repro.sim.interface import (
+    Scheduler,
+    SchedulerDecision,
+    SchedulingContext,
+)
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.network import migration_volume_mb
+from repro.workload.job import Job, JobState, Task, TaskState
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine knobs (defaults follow Section 4.1).
+
+    Attributes
+    ----------
+    tick_seconds:
+        Scheduler invocation period (paper: one minute).
+    overload_threshold:
+        Per-resource/per-GPU overload threshold ``h_r``.
+    system_overload_threshold:
+        Cluster overload threshold ``h_s`` used by MLF-C.
+    migration_penalty_seconds:
+        Extra time added to a job's in-flight iteration when one of its
+        tasks is migrated (checkpoint + restore).
+    stall_ticks:
+        Rounds a job may remain partially placed before the engine
+        evicts its placed tasks (liveness guard).
+    max_time:
+        Hard stop for the simulation clock.
+    straggler_probability / straggler_slowdown:
+        Failure injection passed to the execution model.
+    seed:
+        Seed of the engine's private RNG (straggler draws).
+    """
+
+    tick_seconds: float = 60.0
+    overload_threshold: float = 0.90
+    system_overload_threshold: float = 0.90
+    migration_penalty_seconds: float = 10.0
+    stall_ticks: int = 30
+    max_time: float = 60.0 * 24 * 3600.0
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 3.0
+    seed: int = 0
+
+
+@dataclass
+class _IterationState:
+    """Bookkeeping of one in-flight iteration."""
+
+    token: int
+    end_time: float
+    cross_mb: float
+
+
+class SimulationEngine:
+    """Runs one simulation of (scheduler, jobs, cluster)."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        jobs: list[Job],
+        cluster: Cluster,
+        config: Optional[EngineConfig] = None,
+        accuracy_predictor: Optional[AccuracyPredictor] = None,
+        runtime_predictor: Optional[RuntimePredictor] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.jobs = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+        self.cluster = cluster
+        self.config = config or EngineConfig()
+        self.accuracy_predictor = accuracy_predictor or AccuracyPredictor(
+            seed=self.config.seed
+        )
+        self.runtime_predictor = runtime_predictor or RuntimePredictor(
+            seed=self.config.seed
+        )
+        self.metrics = SimulationMetrics()
+        self.execution = ExecutionModel(
+            straggler_probability=self.config.straggler_probability,
+            straggler_slowdown=self.config.straggler_slowdown,
+        )
+        self.now = 0.0
+        self.queue: list[Task] = []
+        self.active_jobs: dict[str, Job] = {}
+        self._events = EventQueue()
+        self._rng = random.Random(self.config.seed)
+        self._iteration: dict[str, _IterationState] = {}
+        self._tokens: dict[str, int] = {}
+        self._wait_since: dict[str, float] = {}
+        self._wait_accum: dict[str, float] = {}
+        self._stall_counter: dict[str, int] = {}
+        self._last_duration: dict[str, float] = {}
+        self._pending_arrivals = len(self.jobs)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationMetrics:
+        """Execute the simulation to completion and return the metrics."""
+        for job in self.jobs:
+            self._events.push(Event(job.arrival_time, EventKind.JOB_ARRIVAL, job))
+        if self.jobs:
+            first = self.jobs[0].arrival_time
+            self._events.push(Event(first, EventKind.SCHEDULE_TICK))
+        while self._events:
+            event = self._events.pop()
+            if event.time > self.config.max_time:
+                break
+            self.now = max(self.now, event.time)
+            if event.kind is EventKind.JOB_ARRIVAL:
+                self._handle_arrival(event.payload)
+            elif event.kind is EventKind.SCHEDULE_TICK:
+                self._handle_tick()
+            elif event.kind is EventKind.ITERATION_DONE:
+                job, token = event.payload
+                self._handle_iteration_done(job, token)
+            if not self.active_jobs and self._pending_arrivals == 0:
+                break
+        self._finalize_unfinished()
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _handle_arrival(self, job: Job) -> None:
+        self._pending_arrivals -= 1
+        self.active_jobs[job.job_id] = job
+        self._wait_since[job.job_id] = self.now
+        self._wait_accum[job.job_id] = 0.0
+        self._tokens[job.job_id] = 0
+        for task in job.tasks:
+            task.mark_queued(self.now)
+            self.queue.append(task)
+        self.scheduler.on_job_arrival(job, self.now)
+
+    def _handle_tick(self) -> None:
+        if self.active_jobs:
+            overloaded = self.cluster.overloaded_servers(self.config.overload_threshold)
+            self.metrics.overload_occurrences += len(overloaded)
+            ctx = SchedulingContext(
+                now=self.now,
+                cluster=self.cluster,
+                queue=list(self.queue),
+                active_jobs=list(self.active_jobs.values()),
+                overload_threshold=self.config.overload_threshold,
+                system_overload_threshold=self.config.system_overload_threshold,
+                accuracy_predictor=self.accuracy_predictor,
+                runtime_predictor=self.runtime_predictor,
+            )
+            started = _time.perf_counter()
+            decision = self.scheduler.on_schedule(ctx)
+            self.metrics.record_overhead(_time.perf_counter() - started)
+            self._apply_decision(decision)
+            self._enforce_stall_guard()
+            self._start_ready_iterations()
+        self._schedule_next_tick()
+
+    def _schedule_next_tick(self) -> None:
+        if not self.active_jobs and self._pending_arrivals == 0:
+            return
+        next_time = self.now + self.config.tick_seconds
+        if not self.active_jobs:
+            # Idle: jump straight to the next arrival.
+            upcoming = self._events.peek_time()
+            if upcoming is not None:
+                next_time = max(next_time, upcoming)
+        self._events.push(Event(next_time, EventKind.SCHEDULE_TICK))
+
+    def _handle_iteration_done(self, job: Job, token: int) -> None:
+        state = self._iteration.get(job.job_id)
+        if state is None or state.token != token:
+            return  # stale completion (preempted/migrated/stopped)
+        del self._iteration[job.job_id]
+        job.iterations_completed += 1
+        self.metrics.bandwidth_mb += state.cross_mb
+        if self.now <= job.deadline:
+            job.iterations_at_deadline = job.iterations_completed
+        self.runtime_predictor.observe_iteration(job, self._last_duration[job.job_id])
+        self.accuracy_predictor.observe(job, job.iterations_completed)
+        self.scheduler.on_iteration_complete(job, self.now)
+        if job.iterations_completed >= job.max_iterations:
+            self._complete_job(job, stopped_early=False)
+        else:
+            self._start_iteration(job)
+
+    # ------------------------------------------------------------------
+    # Decision application
+    # ------------------------------------------------------------------
+
+    def _apply_decision(self, decision: SchedulerDecision) -> None:
+        for eviction in decision.evictions:
+            self._evict_task(eviction.task)
+        for migration in decision.migrations:
+            self._migrate_task(migration.task, migration.dst_server_id, migration.gpu_id)
+        for placement in decision.placements:
+            self._place_task(placement.task, placement.server_id, placement.gpu_id)
+        for stop in decision.stops:
+            job = stop.job
+            if job.job_id in self.active_jobs and not job.is_complete:
+                self._complete_job(job, stopped_early=True)
+
+    def _place_task(self, task: Task, server_id: int, gpu_id: Optional[int]) -> None:
+        if task.state is not TaskState.QUEUED:
+            raise ValueError(f"cannot place task {task.task_id}: not queued")
+        if task.job_id not in self.active_jobs:
+            return  # job already stopped this round
+        try:
+            self.queue.remove(task)
+        except ValueError:
+            raise ValueError(f"task {task.task_id} not in the waiting queue") from None
+        server = self.cluster.server(server_id)
+        gpu = server.gpus[gpu_id] if gpu_id is not None else None
+        landed = server.place_task(task, gpu)
+        task.mark_placed(self.now, server_id, landed.gpu_id)
+        self._close_wait_stint(task.job)
+        self._cancel_iteration(task.job)  # placement changes contention; restart cleanly
+
+    def _evict_task(self, task: Task) -> None:
+        if not task.is_placed:
+            raise ValueError(f"cannot evict task {task.task_id}: not placed")
+        server = self.cluster.server(task.server_id)
+        server.remove_task(task)
+        task.mark_queued(self.now)
+        self.queue.append(task)
+        self.metrics.num_evictions += 1
+        job = task.job
+        self._cancel_iteration(job)
+        if not job.placed_tasks():
+            self._open_wait_stint(job)
+
+    def _migrate_task(
+        self, task: Task, dst_server_id: int, gpu_id: Optional[int]
+    ) -> None:
+        if not task.is_placed:
+            raise ValueError(f"cannot migrate task {task.task_id}: not placed")
+        if task.server_id == dst_server_id:
+            return
+        src = self.cluster.server(task.server_id)
+        src.remove_task(task)
+        dst = self.cluster.server(dst_server_id)
+        gpu = dst.gpus[gpu_id] if gpu_id is not None else None
+        landed = dst.place_task(task, gpu)
+        task.server_id = dst_server_id
+        task.gpu_id = landed.gpu_id
+        task.num_migrations += 1
+        self.metrics.num_migrations += 1
+        self.metrics.migration_bandwidth_mb += migration_volume_mb(task)
+        self._extend_iteration(task.job, self.config.migration_penalty_seconds)
+
+    # ------------------------------------------------------------------
+    # Iteration lifecycle
+    # ------------------------------------------------------------------
+
+    def _start_ready_iterations(self) -> None:
+        for job in list(self.active_jobs.values()):
+            if (
+                job.is_fully_placed
+                and job.job_id not in self._iteration
+                and job.remaining_iterations > 0
+            ):
+                self._start_iteration(job)
+
+    def _start_iteration(self, job: Job) -> None:
+        if not job.is_fully_placed:
+            return
+        if job.state is JobState.WAITING:
+            job.state = JobState.RUNNING
+            job.first_run_time = self.now
+        duration, cross_mb = self.execution.iteration_duration(
+            job, self.cluster, self._rng.random()
+        )
+        duration = max(duration, 1e-6)
+        token = self._tokens[job.job_id] = self._tokens.get(job.job_id, 0) + 1
+        self._iteration[job.job_id] = _IterationState(
+            token=token, end_time=self.now + duration, cross_mb=cross_mb
+        )
+        self._last_duration[job.job_id] = duration
+        self._events.push(
+            Event(self.now + duration, EventKind.ITERATION_DONE, (job, token))
+        )
+
+    def _cancel_iteration(self, job: Job) -> None:
+        self._iteration.pop(job.job_id, None)
+        self._tokens[job.job_id] = self._tokens.get(job.job_id, 0) + 1
+
+    def _extend_iteration(self, job: Job, penalty: float) -> None:
+        state = self._iteration.get(job.job_id)
+        if state is None:
+            return
+        remaining = max(0.0, state.end_time - self.now) + penalty
+        self._cancel_iteration(job)
+        token = self._tokens[job.job_id]
+        new_state = _IterationState(
+            token=token, end_time=self.now + remaining, cross_mb=state.cross_mb
+        )
+        self._iteration[job.job_id] = new_state
+        self._last_duration[job.job_id] = (
+            self._last_duration.get(job.job_id, remaining) + penalty
+        )
+        self._events.push(
+            Event(new_state.end_time, EventKind.ITERATION_DONE, (job, token))
+        )
+
+    # ------------------------------------------------------------------
+    # Job completion & waiting accounting
+    # ------------------------------------------------------------------
+
+    def _complete_job(self, job: Job, stopped_early: bool) -> None:
+        self._cancel_iteration(job)
+        for task in job.tasks:
+            if task.is_placed:
+                self.cluster.server(task.server_id).remove_task(task)
+            elif task.state is TaskState.QUEUED:
+                try:
+                    self.queue.remove(task)
+                except ValueError:
+                    pass
+            task.mark_finished()
+        job.state = JobState.COMPLETED
+        job.completion_time = self.now
+        job.stopped_early = stopped_early
+        if self.now <= job.deadline:
+            job.iterations_at_deadline = job.iterations_completed
+        if job.completion_time <= job.deadline:
+            job.accuracy_at_deadline = job.final_accuracy
+        else:
+            job.accuracy_at_deadline = job.accuracy_at(job.iterations_at_deadline)
+        self._close_wait_stint(job, completing=True)
+        waiting = self._wait_accum.pop(job.job_id, 0.0)
+        self.metrics.record_job(job, waiting)
+        self.active_jobs.pop(job.job_id, None)
+        self._stall_counter.pop(job.job_id, None)
+        self._wait_since.pop(job.job_id, None)
+        self._last_duration.pop(job.job_id, None)
+        self.accuracy_predictor.forget(job)
+        self.runtime_predictor.forget(job)
+        self.execution.forget(job)
+        self.scheduler.on_job_complete(job, self.now)
+
+    def _open_wait_stint(self, job: Job) -> None:
+        if job.job_id in self.active_jobs and job.job_id not in self._wait_since:
+            self._wait_since[job.job_id] = self.now
+
+    def _close_wait_stint(self, job: Job, completing: bool = False) -> None:
+        since = self._wait_since.pop(job.job_id, None)
+        if since is not None:
+            self._wait_accum[job.job_id] = self._wait_accum.get(job.job_id, 0.0) + max(
+                0.0, self.now - since
+            )
+        if not completing and not job.placed_tasks():
+            # Still nothing running; re-open immediately.
+            self._wait_since[job.job_id] = self.now
+
+    # ------------------------------------------------------------------
+    # Liveness guard
+    # ------------------------------------------------------------------
+
+    def _enforce_stall_guard(self) -> None:
+        for job in list(self.active_jobs.values()):
+            placed = job.placed_tasks()
+            if placed and not job.is_fully_placed:
+                count = self._stall_counter.get(job.job_id, 0) + 1
+                self._stall_counter[job.job_id] = count
+                if count > self.config.stall_ticks:
+                    for task in placed:
+                        self._evict_task(task)
+                    self._stall_counter[job.job_id] = 0
+            else:
+                self._stall_counter.pop(job.job_id, None)
+
+    def _finalize_unfinished(self) -> None:
+        """Force-complete jobs still active when ``max_time`` is hit.
+
+        Their metrics reflect the truncated run (missed deadlines, the
+        accuracy actually reached) rather than being dropped, so an
+        overload scenario cannot silently shed its worst jobs.
+        """
+        for job in list(self.active_jobs.values()):
+            self._complete_job(job, stopped_early=False)

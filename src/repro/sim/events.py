@@ -1,0 +1,69 @@
+"""Event queue for the discrete-event simulation engine.
+
+A classic calendar queue over ``heapq`` with a monotonic sequence number
+breaking ties so that simultaneous events fire in insertion order —
+important for determinism across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class EventKind(enum.Enum):
+    """The kinds of events the engine processes."""
+
+    JOB_ARRIVAL = "job_arrival"
+    SCHEDULE_TICK = "schedule_tick"
+    ITERATION_DONE = "iteration_done"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One scheduled event.
+
+    ``payload`` is kind-specific: the arriving job for ``JOB_ARRIVAL``;
+    ``(job, token)`` for ``ITERATION_DONE`` where ``token`` guards
+    against stale completions after preemption/migration; ``None`` for
+    ticks.
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+
+
+@dataclass
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects."""
+
+    _heap: list[tuple[float, int, Event]] = field(default_factory=list)
+    _counter: "itertools.count" = field(default_factory=itertools.count)
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        if event.time < 0:
+            raise ValueError(f"event time must be non-negative, got {event.time}")
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises ``IndexError`` when empty.
+        """
+        _time, _seq, event = heapq.heappop(self._heap)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

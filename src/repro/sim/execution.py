@@ -1,0 +1,114 @@
+"""Iteration execution model: how long one training iteration takes.
+
+One iteration of a fully-placed job costs
+
+``duration = critical_path(compute with contention slowdowns) + comm``
+
+* each task's compute time is stretched by its GPU's oversubscription
+  factor and by any CPU/memory overload of its host server — this is the
+  mechanism by which "overloaded server → long job latency, low accuracy
+  by job deadline" (Figure 1) materializes in the simulator;
+* the critical path respects the model-partition dependency DAG
+  (sequential partitions serialize, layered partitions overlap);
+* communication time comes from :mod:`repro.sim.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.cluster.cluster import Cluster
+from repro.workload.job import Job, Task
+from repro.sim.network import CommLink, iteration_comm, job_links
+
+
+@dataclass
+class ExecutionModel:
+    """Computes iteration durations, with per-job caches.
+
+    Parameters
+    ----------
+    straggler_probability / straggler_slowdown:
+        Optional failure injection (paper Section 3.3.3 discusses
+        stragglers as future work): each iteration independently suffers
+        a slowdown with the given probability.
+    """
+
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 3.0
+
+    _topo_cache: dict[str, list[str]] = field(default_factory=dict, repr=False)
+    _links_cache: dict[str, list[CommLink]] = field(default_factory=dict, repr=False)
+
+    # -- caches ----------------------------------------------------------
+
+    def topo_order(self, job: Job) -> list[str]:
+        """Cached topological order of the job's task DAG."""
+        order = self._topo_cache.get(job.job_id)
+        if order is None:
+            order = list(nx.topological_sort(job.dag))
+            self._topo_cache[job.job_id] = order
+        return order
+
+    def links(self, job: Job) -> list[CommLink]:
+        """Cached communication links of the job."""
+        cached = self._links_cache.get(job.job_id)
+        if cached is None:
+            cached = job_links(job)
+            self._links_cache[job.job_id] = cached
+        return cached
+
+    def forget(self, job: Job) -> None:
+        """Drop caches of a finished job."""
+        self._topo_cache.pop(job.job_id, None)
+        self._links_cache.pop(job.job_id, None)
+
+    # -- the model -------------------------------------------------------
+
+    def task_slowdown(self, task: Task, cluster: Cluster) -> float:
+        """Contention multiplier (>= 1) for one placed task."""
+        if task.server_id is None or task.gpu_id is None:
+            raise ValueError(f"task {task.task_id} is not placed")
+        server = cluster.server(task.server_id)
+        gpu = server.gpus[task.gpu_id]
+        slowdown = max(1.0, gpu.utilization)
+        util = server.utilization()
+        slowdown *= max(1.0, util.cpu)
+        slowdown *= max(1.0, util.mem)
+        return slowdown
+
+    def compute_critical_path(self, job: Job, cluster: Cluster) -> float:
+        """Longest dependency chain of contention-adjusted compute times."""
+        effective: dict[str, float] = {}
+        for task in job.tasks:
+            effective[task.task_id] = task.compute_seconds * self.task_slowdown(
+                task, cluster
+            )
+        longest: dict[str, float] = {}
+        dag = job.dag
+        for node in self.topo_order(job):
+            best = 0.0
+            for pred in dag.predecessors(node):
+                value = longest[pred]
+                if value > best:
+                    best = value
+            longest[node] = best + effective.get(node, 0.0)
+        return max(longest.values(), default=0.0)
+
+    def iteration_duration(
+        self, job: Job, cluster: Cluster, straggler_draw: float = 1.0
+    ) -> tuple[float, float]:
+        """Duration (seconds) and cross-server volume (MB) of one iteration.
+
+        ``straggler_draw`` is a uniform [0, 1) sample from the engine's
+        RNG; the straggler slowdown applies when it falls below
+        ``straggler_probability``.
+        """
+        compute = self.compute_critical_path(job, cluster)
+        comm = iteration_comm(job, cluster, self.links(job))
+        duration = compute + comm.seconds
+        if straggler_draw < self.straggler_probability:
+            duration *= self.straggler_slowdown
+        return duration, comm.cross_server_mb

@@ -1,0 +1,141 @@
+"""The scheduler ↔ simulator contract.
+
+Every scheduler — MLFS and all baselines — implements
+:class:`Scheduler`.  At each scheduling round the engine hands the
+scheduler a :class:`SchedulingContext` snapshot and receives a
+:class:`SchedulerDecision`: task placements, migrations out of
+overloaded servers, evictions back to the queue, and early job stops.
+This mirrors the paper's action space, "the selection of tasks in
+overloaded nodes to move out and the assigned node (either underloaded
+node or queue) for each task" (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.workload.job import Job, Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.learncurve.accuracy import AccuracyPredictor
+    from repro.learncurve.runtime import RuntimePredictor
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """Assign a queued task to a server (and optionally a specific GPU)."""
+
+    task: Task
+    server_id: int
+    gpu_id: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Migration:
+    """Move a running task to a different server."""
+
+    task: Task
+    dst_server_id: int
+    gpu_id: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Eviction:
+    """Preempt a running task back to the waiting queue."""
+
+    task: Task
+
+
+@dataclass(frozen=True, slots=True)
+class JobStop:
+    """Terminate a job early (MLF-C load control)."""
+
+    job: Job
+    reason: str = ""
+
+
+@dataclass
+class SchedulerDecision:
+    """The full output of one scheduling round.
+
+    The engine applies evictions, then migrations, then placements, then
+    stops.  An empty decision is valid (nothing to do).
+    """
+
+    placements: list[Placement] = field(default_factory=list)
+    migrations: list[Migration] = field(default_factory=list)
+    evictions: list[Eviction] = field(default_factory=list)
+    stops: list[JobStop] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        """True when the decision contains no actions."""
+        return not (self.placements or self.migrations or self.evictions or self.stops)
+
+
+@dataclass
+class SchedulingContext:
+    """Read-only snapshot handed to the scheduler each round.
+
+    Attributes
+    ----------
+    now:
+        Simulation time in seconds.
+    cluster:
+        The cluster (live object — schedulers must not mutate it).
+    queue:
+        Tasks waiting for placement, in engine arrival order; schedulers
+        impose their own ordering (e.g. the MLF-H priority queue).
+    active_jobs:
+        All jobs that have arrived and not completed.
+    overload_threshold:
+        The per-resource threshold ``h_r``.
+    system_overload_threshold:
+        The cluster threshold ``h_s`` used by MLF-C.
+    accuracy_predictor / runtime_predictor:
+        The shared prediction services of Section 3.1.
+    """
+
+    now: float
+    cluster: Cluster
+    queue: list[Task]
+    active_jobs: list[Job]
+    overload_threshold: float
+    system_overload_threshold: float
+    accuracy_predictor: "AccuracyPredictor"
+    runtime_predictor: "RuntimePredictor"
+
+    def running_jobs(self) -> list[Job]:
+        """Active jobs that currently have at least one placed task."""
+        return [j for j in self.active_jobs if j.placed_tasks()]
+
+    def system_overloaded(self) -> bool:
+        """MLF-C's predicate: queued tasks exist or ``O_c > h_s``."""
+        return self.cluster.is_overloaded(
+            self.system_overload_threshold, queue_nonempty=bool(self.queue)
+        )
+
+
+class Scheduler(abc.ABC):
+    """Base class for every scheduling policy."""
+
+    #: Human-readable policy name used in benchmark tables.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def on_schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
+        """Produce the decision for one scheduling round."""
+
+    def on_job_arrival(self, job: Job, now: float) -> None:
+        """Hook: a job was submitted (optional override)."""
+
+    def on_job_complete(self, job: Job, now: float) -> None:
+        """Hook: a job finished (optional override)."""
+
+    def on_iteration_complete(self, job: Job, now: float) -> None:
+        """Hook: a job finished one iteration (optional override)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,142 @@
+"""Shadow resource accounting for batch scheduling decisions.
+
+A scheduler emits a *batch* of placements per round, but the live
+cluster only reflects them after the engine applies the decision.  The
+:class:`ShadowCluster` overlays tentative demand on top of the real
+loads so that capacity checks within one round see earlier choices of
+the same round.  Schedulers must never mutate the real cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import ResourceVector
+from repro.cluster.server import Server
+from repro.workload.job import Task
+
+
+@dataclass
+class ShadowCluster:
+    """Read-through view of a cluster with tentative load deltas."""
+
+    cluster: Cluster
+    _server_delta: dict[int, ResourceVector] = field(default_factory=dict)
+    _gpu_delta: dict[tuple[int, int], float] = field(default_factory=dict)
+    #: Tentative task locations: task_id -> server_id (placements and
+    #: migrations committed this round; ``None`` marks removals).
+    _locations: dict[str, Optional[int]] = field(default_factory=dict)
+
+    # -- queries -----------------------------------------------------------
+
+    def server_load(self, server: Server) -> ResourceVector:
+        """Real + tentative load of a server."""
+        delta = self._server_delta.get(server.server_id, ResourceVector.zeros())
+        return (server.load + delta).clamp_nonnegative()
+
+    def utilization(self, server: Server) -> ResourceVector:
+        """Utilization vector including tentative load."""
+        return self.server_load(server).divide_by(server.capacity).clamp_nonnegative()
+
+    def overload_degree(self, server: Server) -> float:
+        """``||U_s||`` including tentative load."""
+        return self.utilization(server).norm()
+
+    def gpu_load(self, server: Server, gpu_id: int) -> float:
+        """Real + tentative load of one GPU."""
+        gpu = server.gpus[gpu_id]
+        return gpu.load + self._gpu_delta.get((server.server_id, gpu_id), 0.0)
+
+    def gpu_utilization(self, server: Server, gpu_id: int) -> float:
+        """GPU utilization including tentative load."""
+        gpu = server.gpus[gpu_id]
+        return self.gpu_load(server, gpu_id) / gpu.capacity if gpu.capacity else 0.0
+
+    def least_loaded_gpu(self, server: Server) -> int:
+        """GPU id with the smallest shadow utilization."""
+        if not server.gpus:
+            raise RuntimeError(f"server {server.server_id} has no GPUs")
+        return min(
+            (g.gpu_id for g in server.gpus),
+            key=lambda gid: (self.gpu_utilization(server, gid), gid),
+        )
+
+    def is_overloaded(self, server: Server, threshold: float) -> bool:
+        """Shadow-aware server overload predicate."""
+        return self.utilization(server).exceeds_any(threshold)
+
+    def underloaded_servers(self, threshold: float) -> list[Server]:
+        """Servers not overloaded under shadow accounting."""
+        return [
+            s for s in self.cluster.servers if not self.is_overloaded(s, threshold)
+        ]
+
+    def would_overload(
+        self,
+        server: Server,
+        demand: ResourceVector,
+        threshold: float,
+        gpu_id: Optional[int] = None,
+    ) -> bool:
+        """Whether hosting ``demand`` would overload server or target GPU."""
+        load = self.server_load(server) + demand
+        if load.divide_by(server.capacity).exceeds_any(threshold):
+            return True
+        gid = gpu_id if gpu_id is not None else self.least_loaded_gpu(server)
+        gpu = server.gpus[gid]
+        if not gpu.capacity:
+            return demand.gpu > 0
+        return (self.gpu_load(server, gid) + demand.gpu) / gpu.capacity > threshold
+
+    def task_location(self, task: Task) -> Optional[int]:
+        """Server id hosting the task, honoring this round's tentative moves."""
+        if task.task_id in self._locations:
+            return self._locations[task.task_id]
+        return task.server_id
+
+    # -- commits -----------------------------------------------------------
+
+    def commit_placement(self, task: Task, server_id: int, gpu_id: int) -> None:
+        """Record a tentative placement of a queued task."""
+        self._add(server_id, gpu_id, task.demand)
+        self._locations[task.task_id] = server_id
+
+    def commit_removal(self, task: Task) -> None:
+        """Record a tentative removal (eviction or migration source)."""
+        location = self.task_location(task)
+        if location is None:
+            raise ValueError(f"task {task.task_id} has no location to remove")
+        gpu_id = task.gpu_id if task.gpu_id is not None else 0
+        self._add(location, gpu_id, task.demand * -1.0)
+        self._locations[task.task_id] = None
+
+    def commit_migration(self, task: Task, dst_server_id: int, dst_gpu_id: int) -> None:
+        """Record a tentative migration (removal + placement)."""
+        self.commit_removal(task)
+        self._add(dst_server_id, dst_gpu_id, task.demand)
+        self._locations[task.task_id] = dst_server_id
+
+    # -- snapshot / rollback -------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture the tentative state (for speculative packing)."""
+        return (
+            dict(self._server_delta),
+            dict(self._gpu_delta),
+            dict(self._locations),
+        )
+
+    def restore(self, snapshot: tuple) -> None:
+        """Roll back to a state captured by :meth:`snapshot`."""
+        server_delta, gpu_delta, locations = snapshot
+        self._server_delta = dict(server_delta)
+        self._gpu_delta = dict(gpu_delta)
+        self._locations = dict(locations)
+
+    def _add(self, server_id: int, gpu_id: int, demand: ResourceVector) -> None:
+        current = self._server_delta.get(server_id, ResourceVector.zeros())
+        self._server_delta[server_id] = current + demand
+        key = (server_id, gpu_id)
+        self._gpu_delta[key] = self._gpu_delta.get(key, 0.0) + demand.gpu

@@ -1,0 +1,85 @@
+"""Top-level simulation entry points.
+
+``run_simulation`` wires a scheduler, a workload and a cluster into a
+:class:`~repro.sim.engine.SimulationEngine` run and returns a
+:class:`SimulationResult`.  ``run_comparison`` executes the same workload
+under several schedulers — the core of every figure in Section 4.2.
+
+Because jobs are stateful, each run deep-builds its own workload from
+the trace records (never share `Job` objects between runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import EngineConfig, SimulationEngine
+from repro.sim.interface import Scheduler
+from repro.sim.metrics import SimulationMetrics
+from repro.workload.generator import WorkloadConfig, build_jobs
+from repro.workload.trace import TraceRecord
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    scheduler_name: str
+    metrics: SimulationMetrics
+
+    def summary(self) -> dict[str, float]:
+        """Headline aggregates (see :meth:`SimulationMetrics.summary`)."""
+        return self.metrics.summary()
+
+
+@dataclass(frozen=True)
+class SimulationSetup:
+    """Everything needed to reproduce one run.
+
+    ``cluster_factory`` builds a fresh cluster per run (clusters are
+    stateful); ``workload_seed`` makes the trace → job conversion
+    deterministic so every scheduler sees an identical workload.
+    """
+
+    records: Sequence[TraceRecord]
+    cluster_factory: Callable[[], Cluster]
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
+    workload_config: WorkloadConfig = field(default_factory=WorkloadConfig)
+    workload_seed: int = 0
+
+
+def run_simulation(
+    scheduler: Scheduler,
+    setup: SimulationSetup,
+    engine_config: Optional[EngineConfig] = None,
+) -> SimulationResult:
+    """Run one scheduler over the setup's workload."""
+    jobs = build_jobs(setup.records, seed=setup.workload_seed, config=setup.workload_config)
+    cluster = setup.cluster_factory()
+    engine = SimulationEngine(
+        scheduler=scheduler,
+        jobs=jobs,
+        cluster=cluster,
+        config=engine_config or setup.engine_config,
+    )
+    metrics = engine.run()
+    return SimulationResult(scheduler_name=scheduler.name, metrics=metrics)
+
+
+def run_comparison(
+    schedulers: Sequence[Scheduler] | Sequence[Callable[[], Scheduler]],
+    setup: SimulationSetup,
+) -> dict[str, SimulationResult]:
+    """Run every scheduler over the identical workload.
+
+    Accepts scheduler instances or zero-argument factories (factories
+    are preferred for stateful schedulers such as MLF-RL).
+    """
+    results: dict[str, SimulationResult] = {}
+    for entry in schedulers:
+        scheduler = entry() if callable(entry) and not isinstance(entry, Scheduler) else entry
+        result = run_simulation(scheduler, setup)
+        results[result.scheduler_name] = result
+    return results

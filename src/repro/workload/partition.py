@@ -1,0 +1,155 @@
+"""Model-parallel partitioning of a model profile.
+
+Implements the two partitioning schemes of Section 4.1:
+
+* **sequential** (MLP, AlexNet): the layer list is cut into ``P``
+  contiguous groups balanced by parameter count, producing a chain of
+  partitions;
+* **layered** (LSTM, ResNet): every layer is sliced into ``P`` parts and
+  slice ``j`` of every layer forms partition ``j``, producing ``P``
+  parallel partitions (tensor-parallel style).
+
+A partition's size ``S_k`` is its parameter count; the normalized size
+``S_k / S_J`` is the spatial ML feature in the priority formula (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.models import ModelProfile, PartitionStyle
+
+
+@dataclass(frozen=True, slots=True)
+class ModelPartition:
+    """One model partition produced by the partitioner.
+
+    Attributes
+    ----------
+    index:
+        Partition index within the job, ``0 .. P-1``.
+    params_m:
+        Parameter count of the partition in millions (``S_k``).
+    compute_fraction:
+        Fraction of a full-model iteration's compute this partition
+        performs; fractions over a job sum to 1.
+    layer_names:
+        Names of the (slices of) layers contained in the partition.
+    depends_on_previous:
+        ``True`` for sequential partitions with ``index > 0`` — partition
+        ``i`` consumes the activations of partition ``i - 1``.
+    """
+
+    index: int
+    params_m: float
+    compute_fraction: float
+    layer_names: tuple[str, ...]
+    depends_on_previous: bool
+
+
+def partition_model(profile: ModelProfile, num_partitions: int) -> list[ModelPartition]:
+    """Split a model into ``num_partitions`` model partitions.
+
+    For :data:`PartitionStyle.NONE` models (SVM) or ``num_partitions == 1``
+    a single whole-model partition is returned.
+
+    Raises
+    ------
+    ValueError
+        If ``num_partitions`` is not positive.
+    """
+    if num_partitions < 1:
+        raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+
+    if num_partitions == 1 or profile.partition_style is PartitionStyle.NONE:
+        return [
+            ModelPartition(
+                index=0,
+                params_m=profile.total_params_m,
+                compute_fraction=1.0,
+                layer_names=tuple(layer.name for layer in profile.layers),
+                depends_on_previous=False,
+            )
+        ]
+
+    if profile.partition_style is PartitionStyle.SEQUENTIAL:
+        return _partition_sequential(profile, num_partitions)
+    return _partition_layered(profile, num_partitions)
+
+
+def _partition_sequential(
+    profile: ModelProfile, num_partitions: int
+) -> list[ModelPartition]:
+    """Cut the layer list into contiguous, parameter-balanced groups.
+
+    Uses a greedy sweep targeting ``total / P`` parameters per group.
+    If there are fewer layers than requested partitions, the partition
+    count degrades gracefully to the layer count.
+    """
+    layers = list(profile.layers)
+    count = min(num_partitions, len(layers))
+    total = profile.total_params_m
+    target = total / count
+
+    groups: list[list] = []
+    current: list = []
+    current_params = 0.0
+    remaining_groups = count
+    for i, layer in enumerate(layers):
+        current.append(layer)
+        current_params += layer.params_m
+        layers_left = len(layers) - i - 1
+        # Close the group when the target is met, but never strand more
+        # groups than layers remaining.
+        if (
+            remaining_groups > 1
+            and current_params >= target
+            and layers_left >= remaining_groups - 1
+        ):
+            groups.append(current)
+            current = []
+            current_params = 0.0
+            remaining_groups -= 1
+    if current:
+        groups.append(current)
+
+    partitions = []
+    for index, group in enumerate(groups):
+        params = sum(layer.params_m for layer in group)
+        partitions.append(
+            ModelPartition(
+                index=index,
+                params_m=params,
+                compute_fraction=params / total if total else 1.0 / len(groups),
+                layer_names=tuple(layer.name for layer in group),
+                depends_on_previous=index > 0,
+            )
+        )
+    return partitions
+
+
+def _partition_layered(
+    profile: ModelProfile, num_partitions: int
+) -> list[ModelPartition]:
+    """Slice every layer into ``P`` parts; slice ``j`` forms partition ``j``.
+
+    All partitions are mutually independent within an iteration (they run
+    as parallel slices), so ``depends_on_previous`` is always ``False``.
+    """
+    total = profile.total_params_m
+    per_slice = total / num_partitions
+    partitions = []
+    for index in range(num_partitions):
+        partitions.append(
+            ModelPartition(
+                index=index,
+                params_m=per_slice,
+                compute_fraction=1.0 / num_partitions,
+                layer_names=tuple(
+                    f"{layer.name}[{index}/{num_partitions}]"
+                    for layer in profile.layers
+                ),
+                depends_on_previous=False,
+            )
+        )
+    return partitions

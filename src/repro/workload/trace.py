@@ -1,0 +1,120 @@
+"""Trace records and CSV persistence.
+
+The paper drives its simulation with the public Microsoft Philly trace
+(117,325 DNN training jobs over 550 servers / 2,474 GPUs).  We model the
+same per-job fields the paper consumes — "job arrival time, the number of
+GPUs requested and job completion status as the accuracy requirement"
+(Section 4.1) — plus the fields our generator synthesizes to fill the
+information the paper obtained by sample-running models (model identity,
+iteration counts).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One job of the workload trace.
+
+    Attributes
+    ----------
+    job_id:
+        Unique job identifier.
+    arrival_time:
+        Submission time in seconds from trace start.
+    gpus_requested:
+        GPUs the job asked for — one of {1, 2, 4, 8, 16, 32} in the
+        paper's setup; also the model-partition count.
+    model_name:
+        Which of the five workload models the job maps to.
+    max_iterations:
+        Iterations the job would run without early stopping.
+    accuracy_requirement:
+        Required accuracy by the deadline (the Philly "completion
+        status" field plays this role in the paper).
+    urgency:
+        Urgency coefficient ``L_J`` in ``[0, m]``.
+    training_data_mb:
+        Training-data size, drawn from [100, 1000] MB in the paper.
+    """
+
+    job_id: str
+    arrival_time: float
+    gpus_requested: int
+    model_name: str
+    max_iterations: int
+    accuracy_requirement: float
+    urgency: int
+    training_data_mb: float
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on out-of-domain fields."""
+        if self.arrival_time < 0:
+            raise ValueError(f"{self.job_id}: negative arrival_time")
+        if self.gpus_requested < 1:
+            raise ValueError(f"{self.job_id}: gpus_requested must be >= 1")
+        if self.max_iterations < 1:
+            raise ValueError(f"{self.job_id}: max_iterations must be >= 1")
+        if not 0.0 <= self.accuracy_requirement <= 1.0:
+            raise ValueError(f"{self.job_id}: accuracy_requirement out of [0,1]")
+        if self.urgency < 0:
+            raise ValueError(f"{self.job_id}: urgency must be >= 0")
+
+
+_FIELD_NAMES = [f.name for f in fields(TraceRecord)]
+
+
+def write_trace(records: Iterable[TraceRecord], path: str | Path) -> int:
+    """Write trace records to a CSV file; returns the record count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELD_NAMES)
+        for record in records:
+            writer.writerow([getattr(record, name) for name in _FIELD_NAMES])
+            count += 1
+    return count
+
+
+def read_trace(path: str | Path) -> list[TraceRecord]:
+    """Read trace records from a CSV file written by :func:`write_trace`."""
+    path = Path(path)
+    records = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_FIELD_NAMES) - set(reader.fieldnames or [])
+        if missing:
+            raise ValueError(f"trace {path} missing columns: {sorted(missing)}")
+        for row in reader:
+            record = TraceRecord(
+                job_id=row["job_id"],
+                arrival_time=float(row["arrival_time"]),
+                gpus_requested=int(row["gpus_requested"]),
+                model_name=row["model_name"],
+                max_iterations=int(row["max_iterations"]),
+                accuracy_requirement=float(row["accuracy_requirement"]),
+                urgency=int(row["urgency"]),
+                training_data_mb=float(row["training_data_mb"]),
+            )
+            record.validate()
+            records.append(record)
+    return records
+
+
+def iter_window(
+    records: Iterable[TraceRecord], start: float, end: float
+) -> Iterator[TraceRecord]:
+    """Yield the records whose arrival falls in ``[start, end)``.
+
+    The paper randomly selects one week of the 18-week trace for the
+    real-experiment runs; this is the slicing primitive for that.
+    """
+    for record in records:
+        if start <= record.arrival_time < end:
+            yield record

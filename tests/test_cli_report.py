@@ -1,0 +1,115 @@
+"""Tests for the CLI and the Markdown report generator."""
+
+import pytest
+
+from repro.analysis import best_scheduler, improvement_over, render_report
+from repro.baselines import FIFOScheduler
+from repro.cli import SCHEDULER_FACTORIES, build_parser, main, scheduler_by_name
+from repro.cluster import Cluster
+from repro.core import make_mlf_h
+from repro.sim import EngineConfig, SimulationSetup, run_comparison
+from repro.workload import generate_trace, write_trace
+
+
+@pytest.fixture(scope="module")
+def comparison_results():
+    records = generate_trace(8, duration_seconds=900.0, seed=100)
+    setup = SimulationSetup(
+        records=records,
+        cluster_factory=lambda: Cluster.build(4, 4),
+        workload_seed=101,
+        engine_config=EngineConfig(),
+    )
+    return run_comparison([make_mlf_h(), FIFOScheduler()], setup)
+
+
+class TestReport:
+    def test_render_contains_sections(self, comparison_results):
+        report = render_report(comparison_results, title="Test run")
+        assert "# Test run" in report
+        assert "## Headline metrics" in report
+        assert "## Winners" in report
+        assert "## JCT distribution" in report
+        assert "MLF-H" in report and "FIFO" in report
+
+    def test_empty_results_raise(self):
+        with pytest.raises(ValueError):
+            render_report({})
+
+    def test_unknown_reference_raises(self, comparison_results):
+        with pytest.raises(KeyError):
+            render_report(comparison_results, reference="nope")
+
+    def test_best_scheduler_direction(self, comparison_results):
+        name_jct, value_jct = best_scheduler(comparison_results, "avg_jct_s")
+        for result in comparison_results.values():
+            assert result.summary()["avg_jct_s"] >= value_jct - 1e-9
+        name_acc, value_acc = best_scheduler(comparison_results, "avg_accuracy")
+        for result in comparison_results.values():
+            assert result.summary()["avg_accuracy"] <= value_acc + 1e-9
+
+    def test_improvement_sign_convention(self, comparison_results):
+        winner, _ = best_scheduler(comparison_results, "avg_jct_s")
+        other = next(n for n in comparison_results if n != winner)
+        assert improvement_over(comparison_results, "avg_jct_s", winner, other) >= 0.0
+
+
+class TestCLI:
+    def test_all_factories_construct(self):
+        for name in SCHEDULER_FACTORIES:
+            scheduler = scheduler_by_name(name)
+            assert scheduler.name == name or scheduler.name  # constructed
+
+    def test_unknown_scheduler_exits(self):
+        with pytest.raises(SystemExit):
+            scheduler_by_name("nope")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trace_command(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        code = main(["trace", "--jobs", "5", "--hours", "0.2", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "wrote 5 jobs" in capsys.readouterr().out
+
+    def test_run_command(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.csv"
+        write_trace(generate_trace(4, duration_seconds=600.0, seed=5), trace_path)
+        code = main(
+            [
+                "run",
+                "--trace",
+                str(trace_path),
+                "--scheduler",
+                "FIFO",
+                "--servers",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert "avg_jct_s" in capsys.readouterr().out
+
+    def test_compare_command_writes_report(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.csv"
+        write_trace(generate_trace(4, duration_seconds=600.0, seed=6), trace_path)
+        report_path = tmp_path / "report.md"
+        code = main(
+            [
+                "compare",
+                "--trace",
+                str(trace_path),
+                "--servers",
+                "4",
+                "--schedulers",
+                "FIFO,Graphene",
+                "--out",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        text = report_path.read_text()
+        assert "## Headline metrics" in text
+        assert "Graphene" in text

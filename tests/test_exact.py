@@ -1,0 +1,130 @@
+"""Tests for the toy-scale epsilon-constraint reference solver."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.exact import (
+    MAX_ASSIGNMENTS,
+    enumerate_assignments,
+    epsilon_constraint_solve,
+    pareto_frontier,
+    score_assignment,
+)
+from repro.core import MLFSConfig, PlacementEngine
+from repro.sim.shadow import ShadowCluster
+from tests.conftest import make_job
+
+
+def toy_tasks(seed=90, gpus=2):
+    job = make_job(seed=seed, gpus=gpus, model="alexnet")
+    return [t for t in job.tasks if not t.is_parameter_server]
+
+
+class TestEnumeration:
+    def test_counts_feasible_assignments(self):
+        cluster = Cluster.build(2, 2)
+        tasks = toy_tasks()
+        assignments = list(enumerate_assignments(tasks, cluster))
+        assert 0 < len(assignments) <= 2 ** len(tasks)
+        for assignment in assignments:
+            assert set(assignment) == {t.task_id for t in tasks}
+            assert all(v in (0, 1) for v in assignment.values())
+
+    def test_rejects_huge_spaces(self):
+        cluster = Cluster.build(10, 2)
+        job = make_job(seed=91, gpus=32, model="resnet")
+        with pytest.raises(ValueError):
+            list(enumerate_assignments(job.tasks, cluster))
+
+    def test_capacity_threshold_filters(self):
+        cluster = Cluster.build(1, 1)
+        job = make_job(seed=92, gpus=8, model="resnet")
+        tasks = [t for t in job.tasks if not t.is_parameter_server][:6]
+        # Six workers cannot all fit one single-GPU server at 100%.
+        assignments = list(enumerate_assignments(tasks, cluster, 1.0))
+        assert assignments == []
+
+
+class TestScoring:
+    def test_colocation_minimizes_cross_volume(self):
+        cluster = Cluster.build(2, 4)
+        tasks = toy_tasks()
+        together = {t.task_id: 0 for t in tasks}
+        apart = {t.task_id: i % 2 for i, t in enumerate(tasks)}
+        s_together = score_assignment(tasks, together, cluster)
+        s_apart = score_assignment(tasks, apart, cluster)
+        assert s_together.cross_volume_mb <= s_apart.cross_volume_mb
+
+    def test_spreading_minimizes_imbalance(self):
+        cluster = Cluster.build(2, 4)
+        tasks = toy_tasks()
+        together = {t.task_id: 0 for t in tasks}
+        apart = {t.task_id: i % 2 for i, t in enumerate(tasks)}
+        assert (
+            score_assignment(tasks, apart, cluster).imbalance
+            <= score_assignment(tasks, together, cluster).imbalance
+        )
+
+    def test_pareto_frontier_nonempty_and_nondominated(self):
+        cluster = Cluster.build(2, 2)
+        tasks = toy_tasks()
+        scored = [
+            (a, score_assignment(tasks, a, cluster))
+            for a in enumerate_assignments(tasks, cluster)
+        ]
+        frontier = pareto_frontier(scored)
+        assert frontier
+        for _a, score in frontier:
+            for _b, other in frontier:
+                if other == score:
+                    continue
+                assert not all(
+                    o <= s for o, s in zip(other.as_tuple(), score.as_tuple())
+                ) or not any(
+                    o < s for o, s in zip(other.as_tuple(), score.as_tuple())
+                )
+
+
+class TestEpsilonConstraint:
+    def test_returns_feasible_solution(self):
+        cluster = Cluster.build(2, 2)
+        tasks = toy_tasks()
+        result = epsilon_constraint_solve(tasks, cluster)
+        assert result is not None
+        assignment, score = result
+        assert set(assignment) == {t.task_id for t in tasks}
+        assert score.imbalance >= 0.0
+
+    def test_none_when_infeasible(self):
+        cluster = Cluster.build(1, 1)
+        job = make_job(seed=93, gpus=8, model="resnet")
+        tasks = [t for t in job.tasks if not t.is_parameter_server][:6]
+        assert epsilon_constraint_solve(tasks, cluster) is None
+
+    def test_heuristic_close_to_exact_bandwidth(self):
+        """MLF-H's RIAL placement lands near the exact frontier."""
+        cluster = Cluster.build(2, 2)
+        tasks = toy_tasks(seed=94)
+        exact = epsilon_constraint_solve(tasks, cluster)
+        assert exact is not None
+
+        engine = PlacementEngine(config=MLFSConfig())
+        shadow = ShadowCluster(cluster)
+        heuristic: dict[str, int] = {}
+        for task in tasks:
+            choice = engine.select_host(task, shadow)
+            assert choice is not None
+            shadow.commit_placement(task, choice.server_id, choice.gpu_id)
+            heuristic[task.task_id] = choice.server_id
+        h_score = score_assignment(tasks, heuristic, cluster)
+        scored = [
+            (a, score_assignment(tasks, a, cluster))
+            for a in enumerate_assignments(tasks, cluster)
+        ]
+        worst = max(s.cross_volume_mb for _a, s in scored)
+        best = min(s.cross_volume_mb for _a, s in scored)
+        # The heuristic's bandwidth sits in the better half of the space.
+        assert h_score.cross_volume_mb <= best + (worst - best) * 0.5 + 1e-9
+
+    def test_max_assignments_constant_sane(self):
+        assert MAX_ASSIGNMENTS >= 1_000_000

@@ -1,0 +1,119 @@
+"""End-to-end integration tests across the full stack."""
+
+import pytest
+
+from repro import quick_compare
+from repro.baselines import FIFOScheduler, GrapheneScheduler
+from repro.cluster import Cluster
+from repro.core import make_mlf_h, make_mlf_rl, make_mlfs
+from repro.sim import EngineConfig, SimulationSetup, run_comparison, run_simulation
+from repro.workload import WorkloadConfig, generate_trace
+
+
+def setup_for(num_jobs, servers, seed=70, window=3600.0, deadline_hours=(0.5, 6.0)):
+    records = generate_trace(num_jobs, duration_seconds=window, seed=seed)
+    return SimulationSetup(
+        records=records,
+        cluster_factory=lambda: Cluster.build(servers, 4),
+        workload_seed=seed + 1,
+        engine_config=EngineConfig(max_time=7 * 24 * 3600.0),
+        workload_config=WorkloadConfig(deadline_uniform_range_hours=deadline_hours),
+    )
+
+
+class TestComparisons:
+    def test_same_workload_across_schedulers(self):
+        setup = setup_for(10, 4)
+        results = run_comparison([make_mlf_h(), FIFOScheduler()], setup)
+        assert set(results) == {"MLF-H", "FIFO"}
+        for result in results.values():
+            assert result.summary()["jobs"] == 10
+
+    def test_factories_accepted(self):
+        setup = setup_for(8, 4, seed=71)
+        results = run_comparison([make_mlfs, make_mlf_rl], setup)
+        assert set(results) == {"MLFS", "MLF-RL"}
+
+    def test_quick_compare_smoke(self):
+        results = quick_compare(num_jobs=10, num_servers=4, duration_hours=0.5, seed=72)
+        assert len(results) == 10
+        assert all(v["jobs"] == 10 for v in results.values())
+
+
+class TestPaperShapes:
+    """Coarse shape checks under contention (tolerant by design)."""
+
+    @pytest.fixture(scope="class")
+    def contended(self):
+        setup = setup_for(60, 3, seed=73, window=1800.0)
+        schedulers = [make_mlfs(), make_mlf_h(), GrapheneScheduler(), FIFOScheduler()]
+        return {
+            name: result.summary()
+            for name, result in run_comparison(schedulers, setup).items()
+        }
+
+    def test_mlfs_beats_fifo_on_jct(self, contended):
+        assert contended["MLFS"]["avg_jct_s"] < contended["FIFO"]["avg_jct_s"]
+
+    def test_mlfs_bandwidth_below_gang_baselines(self, contended):
+        assert contended["MLFS"]["bandwidth_gb"] < contended["Graphene"]["bandwidth_gb"]
+        assert contended["MLF-H"]["bandwidth_gb"] < contended["FIFO"]["bandwidth_gb"]
+
+    def test_mlfs_deadline_ratio_at_least_fifo(self, contended):
+        assert (
+            contended["MLFS"]["deadline_ratio"]
+            >= contended["FIFO"]["deadline_ratio"] - 0.05
+        )
+
+    def test_every_scheduler_finished_everything(self, contended):
+        assert all(v["jobs"] == 60 for v in contended.values())
+
+
+class TestAblations:
+    def test_migration_reduces_overload_occurrences(self):
+        from repro.core import MLFSConfig
+
+        setup = setup_for(50, 2, seed=74, window=1800.0)
+        on = run_simulation(
+            make_mlf_h(MLFSConfig(enable_migration=True, enable_load_control=False)),
+            setup,
+        )
+        off = run_simulation(
+            make_mlf_h(MLFSConfig(enable_migration=False, enable_load_control=False)),
+            setup,
+        )
+        assert on.metrics.num_migrations > 0
+        assert off.metrics.num_migrations == 0
+        assert (
+            on.metrics.overload_occurrences <= off.metrics.overload_occurrences
+        )
+
+    def test_load_control_reduces_jct_under_overload(self):
+        setup = setup_for(60, 2, seed=75, window=1800.0)
+        with_c = run_simulation(make_mlfs(), setup)
+        without_c = run_simulation(make_mlf_rl(), setup)
+        assert (
+            with_c.summary()["avg_jct_s"] <= without_c.summary()["avg_jct_s"] * 1.05
+        )
+
+
+class TestStragglers:
+    def test_straggler_injection_slows_jobs(self):
+        records = generate_trace(10, duration_seconds=600.0, seed=76)
+        base = SimulationSetup(
+            records=records,
+            cluster_factory=lambda: Cluster.build(6, 4),
+            workload_seed=77,
+            engine_config=EngineConfig(),
+        )
+        clean = run_simulation(make_mlf_h(), base)
+        slow_setup = SimulationSetup(
+            records=records,
+            cluster_factory=lambda: Cluster.build(6, 4),
+            workload_seed=77,
+            engine_config=EngineConfig(
+                straggler_probability=0.5, straggler_slowdown=4.0
+            ),
+        )
+        slowed = run_simulation(make_mlf_h(), slow_setup)
+        assert slowed.summary()["avg_jct_s"] > clean.summary()["avg_jct_s"]

@@ -1,0 +1,287 @@
+"""Unit tests for curve fitting, the ensemble, predictors and OptStop."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.learncurve import (
+    CURVE_FAMILIES,
+    AccuracyPredictor,
+    CurveEnsemble,
+    OptStopPolicy,
+    RuntimePredictor,
+    StopDecision,
+    fit_ensemble,
+    fit_family,
+)
+from repro.workload import StopOption
+from tests.conftest import make_job
+
+
+def saturating_curve(x, ceiling=0.9, half=8.0):
+    return ceiling * x / (x + half)
+
+
+class TestCurveFamilies:
+    def test_four_families(self):
+        assert len(CURVE_FAMILIES) == 4
+        assert {f.name for f in CURVE_FAMILIES} == {
+            "pow3",
+            "log_power",
+            "vapor_pressure",
+            "mmf",
+        }
+
+    def test_fit_recovers_mmf(self):
+        family = next(f for f in CURVE_FAMILIES if f.name == "mmf")
+        xs = list(range(1, 15))
+        ys = [saturating_curve(x) for x in xs]
+        params, err = fit_family(family, xs, ys)
+        assert err < 1e-3
+        assert family(np.array([100.0]), params)[0] == pytest.approx(
+            saturating_curve(100.0), abs=0.05
+        )
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            fit_family(CURVE_FAMILIES[0], [], [])
+
+    def test_fit_deterministic(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [0.2, 0.35, 0.45, 0.5, 0.55]
+        a = fit_family(CURVE_FAMILIES[0], xs, ys)
+        b = fit_family(CURVE_FAMILIES[0], xs, ys)
+        assert a == b
+
+
+class TestEnsemble:
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            CurveEnsemble.fit([1], [0.5])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CurveEnsemble.fit([1, 2], [0.5])
+
+    def test_weights_sum_to_one(self):
+        xs = list(range(1, 10))
+        ys = [saturating_curve(x) for x in xs]
+        ensemble = fit_ensemble(xs, ys)
+        assert sum(m.weight for m in ensemble.members) == pytest.approx(1.0)
+
+    def test_extrapolation_close_to_truth(self):
+        xs = list(range(1, 12))
+        ys = [saturating_curve(x) for x in xs]
+        ensemble = fit_ensemble(xs, ys)
+        predicted = ensemble.predict(40)
+        assert predicted == pytest.approx(saturating_curve(40), abs=0.08)
+
+    def test_prediction_clamped_to_unit_interval(self):
+        ensemble = fit_ensemble([1, 2, 3, 4], [0.9, 0.95, 0.97, 0.99])
+        assert 0.0 <= ensemble.predict(1000) <= 1.0
+
+    def test_std_positive(self):
+        xs = list(range(1, 8))
+        ys = [saturating_curve(x) for x in xs]
+        ensemble = fit_ensemble(xs, ys)
+        assert ensemble.predict_std(30) > 0.0
+
+    def test_confidence_below_monotone_in_threshold(self):
+        xs = list(range(1, 8))
+        ys = [saturating_curve(x) for x in xs]
+        ensemble = fit_ensemble(xs, ys)
+        low = ensemble.confidence_below(30, 0.2)
+        high = ensemble.confidence_below(30, 0.99)
+        assert low < high
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_fit_never_crashes_on_noiseless_curves(self, n):
+        xs = list(range(1, n + 1))
+        ys = [saturating_curve(x) for x in xs]
+        ensemble = fit_ensemble(xs, ys)
+        assert 0.0 <= ensemble.predict(n * 2) <= 1.0
+
+
+class TestAccuracyPredictor:
+    def test_observe_and_predict_noiseless(self):
+        predictor = AccuracyPredictor(noise_std=0.0)
+        job = make_job(seed=1, iterations=40)
+        for i in range(1, 8):
+            predictor.observe(job, i)
+        predicted = predictor.predict(job, 40)
+        assert predicted == pytest.approx(job.accuracy_at(40), abs=0.05)
+
+    def test_noisy_observation_bounded(self):
+        predictor = AccuracyPredictor(noise_std=0.05, seed=3)
+        job = make_job(seed=1)
+        for i in range(1, 6):
+            value = predictor.observe(job, i)
+            assert 0.0 <= value <= 1.0
+
+    def test_fallback_before_min_observations(self):
+        predictor = AccuracyPredictor(noise_std=0.0, min_observations=10)
+        job = make_job(seed=1)
+        predictor.observe(job, 1)
+        assert predictor.predict(job, 20) == pytest.approx(
+            job.accuracy_at(20), abs=0.02
+        )
+
+    def test_predict_without_observations_uses_curve(self):
+        predictor = AccuracyPredictor()
+        job = make_job(seed=2)
+        assert predictor.predict(job, 10) == pytest.approx(job.accuracy_at(10))
+
+    def test_forget_clears_state(self):
+        predictor = AccuracyPredictor()
+        job = make_job(seed=2)
+        predictor.observe(job, 1)
+        assert predictor.observations(job) == 1
+        predictor.forget(job)
+        assert predictor.observations(job) == 0
+
+    def test_confidence_below(self):
+        predictor = AccuracyPredictor(noise_std=0.0)
+        job = make_job(seed=2, iterations=40)
+        for i in range(1, 8):
+            predictor.observe(job, i)
+        # Achievable accuracy is well below 0.999.
+        assert predictor.confidence_below(job, 40, 0.999) > 0.5
+
+
+class TestRuntimePredictor:
+    def test_cold_prediction_uses_estimate(self):
+        predictor = RuntimePredictor(cold_error_std=0.0, warm_error_std=0.0)
+        job = make_job(seed=3, iterations=10)
+        total = predictor.total_time(job)
+        assert total == pytest.approx(job.estimated_duration, rel=1e-6)
+
+    def test_cold_factor_sticky(self):
+        predictor = RuntimePredictor(cold_error_std=0.3, seed=1)
+        job = make_job(seed=3)
+        assert predictor.iteration_time(job) == predictor.iteration_time(job)
+
+    def test_warm_prediction_tracks_observations(self):
+        predictor = RuntimePredictor(warm_error_std=0.0)
+        job = make_job(seed=3, iterations=10)
+        for _ in range(5):
+            predictor.observe_iteration(job, 120.0)
+        assert predictor.iteration_time(job) == pytest.approx(120.0)
+        job.iterations_completed = 4
+        assert predictor.remaining_time(job) == pytest.approx(6 * 120.0)
+
+    def test_negative_duration_rejected(self):
+        predictor = RuntimePredictor()
+        with pytest.raises(ValueError):
+            predictor.observe_iteration(make_job(seed=3), -1.0)
+
+    def test_remaining_zero_when_done(self):
+        predictor = RuntimePredictor()
+        job = make_job(seed=3, iterations=10)
+        job.iterations_completed = 10
+        assert predictor.remaining_time(job) == 0.0
+
+    def test_window_limits_memory(self):
+        predictor = RuntimePredictor(window=4, warm_error_std=0.0)
+        job = make_job(seed=3)
+        for value in [100.0] * 10 + [10.0] * 4:
+            predictor.observe_iteration(job, value)
+        assert predictor.iteration_time(job) == pytest.approx(10.0)
+
+    def test_forget(self):
+        predictor = RuntimePredictor()
+        job = make_job(seed=3)
+        predictor.observe_iteration(job, 5.0)
+        predictor.forget(job)
+        assert not predictor.has_history(job)
+
+
+class TestOptStop:
+    def make_ready_job(self, option, seed=4, iterations=60):
+        job = make_job(seed=seed, iterations=iterations)
+        job.stop_option = option
+        job.effective_stop_option = option
+        return job
+
+    def observed_predictor(self, job, upto):
+        predictor = AccuracyPredictor(noise_std=0.0)
+        for i in range(1, upto + 1):
+            predictor.observe(job, i)
+        return predictor
+
+    def test_fixed_iterations_never_stops(self):
+        job = self.make_ready_job(StopOption.FIXED_ITERATIONS)
+        job.iterations_completed = 50
+        predictor = self.observed_predictor(job, 50)
+        policy = OptStopPolicy()
+        assert (
+            policy.evaluate(job, predictor, job.current_accuracy)
+            is StopDecision.CONTINUE
+        )
+
+    def test_accuracy_only_stops_at_requirement(self):
+        job = self.make_ready_job(StopOption.ACCURACY_ONLY)
+        job.accuracy_requirement = job.accuracy_at(10)
+        job.iterations_completed = 12
+        predictor = self.observed_predictor(job, 12)
+        policy = OptStopPolicy()
+        assert (
+            policy.evaluate(job, predictor, job.current_accuracy)
+            is StopDecision.STOP_TARGET_REACHED
+        )
+
+    def test_min_iterations_guard(self):
+        job = self.make_ready_job(StopOption.ACCURACY_ONLY)
+        job.accuracy_requirement = 0.0001
+        job.iterations_completed = 1
+        predictor = self.observed_predictor(job, 1)
+        policy = OptStopPolicy(min_iterations=3)
+        assert (
+            policy.evaluate(job, predictor, job.current_accuracy)
+            is StopDecision.CONTINUE
+        )
+
+    def test_optstop_stops_near_plateau(self):
+        job = self.make_ready_job(StopOption.OPT_STOP, iterations=300)
+        # Drive the job deep into the plateau.
+        job.iterations_completed = 290
+        predictor = self.observed_predictor(job, 290)
+        policy = OptStopPolicy()
+        decision = policy.evaluate(job, predictor, job.current_accuracy)
+        assert decision is StopDecision.STOP_TARGET_REACHED
+
+    def test_optstop_continues_early(self):
+        job = self.make_ready_job(StopOption.OPT_STOP, iterations=100)
+        job.iterations_completed = 5
+        predictor = self.observed_predictor(job, 5)
+        policy = OptStopPolicy()
+        assert (
+            policy.evaluate(job, predictor, job.current_accuracy)
+            is StopDecision.CONTINUE
+        )
+
+    def test_unreachable_abort_requires_margin_and_confidence(self):
+        job = self.make_ready_job(StopOption.ACCURACY_ONLY, iterations=20)
+        # Requirement far above what 20 iterations can reach.
+        job.accuracy_requirement = min(0.99, job.accuracy_ceiling * 0.999)
+        job.iterations_completed = 10
+        predictor = self.observed_predictor(job, 10)
+        policy = OptStopPolicy(confidence_threshold=0.5)
+        decision = policy.evaluate(job, predictor, job.current_accuracy)
+        assert decision in (StopDecision.STOP_UNREACHABLE, StopDecision.CONTINUE)
+
+    def test_optimal_stop_iteration_bounds(self):
+        job = self.make_ready_job(StopOption.OPT_STOP, iterations=50)
+        job.iterations_completed = 6
+        predictor = self.observed_predictor(job, 6)
+        policy = OptStopPolicy()
+        stop = policy.optimal_stop_iteration(job, predictor)
+        assert 1 <= stop <= job.max_iterations
+
+    def test_target_accuracy_fixed_is_infinite(self):
+        job = self.make_ready_job(StopOption.FIXED_ITERATIONS)
+        policy = OptStopPolicy()
+        predictor = AccuracyPredictor(noise_std=0.0)
+        assert policy.target_accuracy(job, predictor) == float("inf")

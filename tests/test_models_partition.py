@@ -1,0 +1,133 @@
+"""Unit tests for the model zoo and the model-parallel partitioner."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload import (
+    MODEL_NAMES,
+    MODEL_ZOO,
+    PartitionStyle,
+    get_model,
+    partition_model,
+)
+
+
+class TestModelZoo:
+    def test_all_five_models_present(self):
+        assert set(MODEL_NAMES) == {"alexnet", "resnet", "mlp", "lstm", "svm"}
+
+    def test_get_model_roundtrip(self):
+        for name in MODEL_NAMES:
+            assert get_model(name).name == name
+
+    def test_get_model_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_model("bert")
+
+    def test_partition_styles_match_paper(self):
+        assert get_model("alexnet").partition_style is PartitionStyle.SEQUENTIAL
+        assert get_model("mlp").partition_style is PartitionStyle.SEQUENTIAL
+        assert get_model("resnet").partition_style is PartitionStyle.LAYERED
+        assert get_model("lstm").partition_style is PartitionStyle.LAYERED
+        assert get_model("svm").partition_style is PartitionStyle.NONE
+
+    def test_alexnet_parameter_count(self):
+        # Canonical AlexNet is ~61M parameters.
+        assert get_model("alexnet").total_params_m == pytest.approx(62.38, rel=0.05)
+
+    def test_resnet_parameter_count(self):
+        # ResNet-50 is ~25.5M parameters.
+        assert get_model("resnet").total_params_m == pytest.approx(25.5, rel=0.1)
+
+    def test_batch_sizes_match_paper(self):
+        # "The batch size is 1MB for AlexNet and ResNet, and 1.5KB for
+        # LSTM, MLP and SVM" (Section 4.1).
+        assert get_model("alexnet").batch_size_mb == 1.0
+        assert get_model("resnet").batch_size_mb == 1.0
+        for name in ("lstm", "mlp", "svm"):
+            assert get_model(name).batch_size_mb == pytest.approx(0.0015)
+
+    def test_loss_curve_monotone_decreasing(self):
+        for profile in MODEL_ZOO.values():
+            prev = None
+            for i in range(0, 50):
+                loss = profile.loss_floor + (
+                    profile.loss_initial - profile.loss_floor
+                ) * (1.0 + i) ** (-profile.loss_decay)
+                if prev is not None:
+                    assert loss < prev
+                prev = loss
+
+    def test_model_state_mb_positive(self):
+        for profile in MODEL_ZOO.values():
+            assert profile.model_state_mb > 0
+            assert profile.model_state_mb == pytest.approx(
+                profile.total_params_m * 4.0
+            )
+
+    def test_comm_rounds_positive(self):
+        for profile in MODEL_ZOO.values():
+            assert profile.comm_rounds_per_iteration >= 1
+
+
+class TestPartitioner:
+    def test_single_partition_is_whole_model(self):
+        profile = get_model("alexnet")
+        parts = partition_model(profile, 1)
+        assert len(parts) == 1
+        assert parts[0].params_m == pytest.approx(profile.total_params_m)
+        assert parts[0].compute_fraction == pytest.approx(1.0)
+
+    def test_svm_never_partitions(self):
+        parts = partition_model(get_model("svm"), 8)
+        assert len(parts) == 1
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            partition_model(get_model("mlp"), 0)
+
+    def test_sequential_preserves_params(self):
+        profile = get_model("alexnet")
+        for count in (2, 3, 4, 8):
+            parts = partition_model(profile, count)
+            total = sum(p.params_m for p in parts)
+            assert total == pytest.approx(profile.total_params_m)
+
+    def test_sequential_chain_dependencies(self):
+        parts = partition_model(get_model("alexnet"), 4)
+        assert not parts[0].depends_on_previous
+        assert all(p.depends_on_previous for p in parts[1:])
+
+    def test_sequential_degrades_to_layer_count(self):
+        profile = get_model("mlp")  # 4 layers
+        parts = partition_model(profile, 32)
+        assert len(parts) <= profile.num_layers
+
+    def test_layered_parts_are_equal_and_parallel(self):
+        profile = get_model("resnet")
+        parts = partition_model(profile, 4)
+        assert len(parts) == 4
+        assert all(not p.depends_on_previous for p in parts)
+        assert all(
+            p.params_m == pytest.approx(profile.total_params_m / 4) for p in parts
+        )
+
+    def test_layered_compute_fractions_sum_to_one(self):
+        parts = partition_model(get_model("lstm"), 8)
+        assert sum(p.compute_fraction for p in parts) == pytest.approx(1.0)
+
+    def test_indexes_are_sequential(self):
+        parts = partition_model(get_model("resnet"), 5)
+        assert [p.index for p in parts] == list(range(5))
+
+    @given(st.sampled_from(MODEL_NAMES), st.integers(min_value=1, max_value=32))
+    def test_partition_invariants(self, name, count):
+        profile = get_model(name)
+        parts = partition_model(profile, count)
+        assert 1 <= len(parts) <= max(count, 1)
+        assert sum(p.params_m for p in parts) == pytest.approx(
+            profile.total_params_m, rel=1e-6
+        )
+        assert sum(p.compute_fraction for p in parts) == pytest.approx(1.0, rel=1e-6)
+        assert all(p.params_m > 0 for p in parts)

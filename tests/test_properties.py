@@ -1,0 +1,114 @@
+"""Property-based tests on simulator-wide invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FIFOScheduler, TiresiasScheduler
+from repro.cluster import Cluster
+from repro.core import make_mlf_h
+from repro.sim import EngineConfig, SimulationEngine, SimulationSetup, run_simulation
+from repro.workload import build_jobs, generate_trace
+
+
+def run_workload(scheduler, num_jobs, servers, seed):
+    records = generate_trace(num_jobs, duration_seconds=1200.0, seed=seed)
+    jobs = build_jobs(records, seed=seed + 1)
+    cluster = Cluster.build(servers, 4)
+    engine = SimulationEngine(
+        scheduler, jobs, cluster, EngineConfig(max_time=10 * 24 * 3600.0)
+    )
+    metrics = engine.run()
+    return engine, metrics
+
+
+@given(
+    num_jobs=st.integers(min_value=1, max_value=12),
+    servers=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=12, deadline=None)
+def test_conservation_of_jobs(num_jobs, servers, seed):
+    """Every submitted job is accounted exactly once in the records."""
+    _engine, metrics = run_workload(FIFOScheduler(), num_jobs, servers, seed)
+    assert len(metrics.job_records) == num_jobs
+    assert len({r.job_id for r in metrics.job_records}) == num_jobs
+
+
+@given(
+    num_jobs=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=10, deadline=None)
+def test_resources_fully_released(num_jobs, seed):
+    """After a run the cluster holds no residual load and no queue."""
+    engine, _metrics = run_workload(make_mlf_h(), num_jobs, 4, seed)
+    assert engine.cluster.total_load().norm() < 1e-6
+    assert engine.queue == []
+    for server in engine.cluster.servers:
+        assert server.task_count == 0
+        for gpu in server.gpus:
+            assert gpu.task_count == 0
+
+
+@given(
+    num_jobs=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=10, deadline=None)
+def test_time_ordering_invariants(num_jobs, seed):
+    """Completion ≥ arrival; waiting ≤ JCT; makespan covers every job."""
+    _engine, metrics = run_workload(TiresiasScheduler(), num_jobs, 3, seed)
+    makespan = metrics.makespan()
+    for record in metrics.job_records:
+        assert record.completion_time >= record.arrival_time
+        assert 0.0 <= record.waiting_time <= record.jct + 1e-6
+        assert record.jct <= makespan + 1e-6
+
+
+@given(
+    num_jobs=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=10, deadline=None)
+def test_accuracy_invariants(num_jobs, seed):
+    """Accuracy at deadline never exceeds final accuracy or the ceiling."""
+    _engine, metrics = run_workload(make_mlf_h(), num_jobs, 4, seed)
+    for record in metrics.job_records:
+        assert 0.0 <= record.accuracy_at_deadline <= record.final_accuracy + 1e-9
+        assert record.final_accuracy <= 1.0
+        assert record.iterations_completed <= record.max_iterations
+
+
+@given(seed=st.integers(min_value=0, max_value=30))
+@settings(max_examples=8, deadline=None)
+def test_identical_seeds_identical_outcomes(seed):
+    """The whole pipeline is deterministic per (workload, engine) seed."""
+    records = generate_trace(6, duration_seconds=900.0, seed=seed)
+
+    def run_once():
+        setup = SimulationSetup(
+            records=records,
+            cluster_factory=lambda: Cluster.build(4, 4),
+            workload_seed=seed + 1,
+            engine_config=EngineConfig(seed=seed),
+        )
+        return run_simulation(make_mlf_h(), setup)
+
+    a, b = run_once(), run_once()
+    assert [r.jct for r in a.metrics.job_records] == [
+        r.jct for r in b.metrics.job_records
+    ]
+    assert a.metrics.bandwidth_mb == b.metrics.bandwidth_mb
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    servers=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=8, deadline=None)
+def test_bandwidth_nonnegative_and_bounded(seed, servers):
+    """Cross-server traffic is non-negative and zero for 1-server runs."""
+    _engine, metrics = run_workload(FIFOScheduler(), 5, servers, seed)
+    assert metrics.bandwidth_mb >= 0.0
+    _engine1, metrics1 = run_workload(FIFOScheduler(), 5, 1, seed)
+    assert metrics1.bandwidth_mb == 0.0

@@ -1,0 +1,137 @@
+"""Unit tests for ResourceVector arithmetic and geometry."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import NUM_RESOURCE_KINDS, ResourceKind, ResourceVector
+
+finite = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vectors = st.builds(ResourceVector, finite, finite, finite, finite)
+
+
+class TestConstruction:
+    def test_zeros(self):
+        assert ResourceVector.zeros().as_tuple() == (0.0, 0.0, 0.0, 0.0)
+
+    def test_uniform(self):
+        assert ResourceVector.uniform(2.5).as_tuple() == (2.5, 2.5, 2.5, 2.5)
+
+    def test_from_iterable_order_matches_kinds(self):
+        v = ResourceVector.from_iterable([1, 2, 3, 4])
+        assert v.gpu == 1 and v.cpu == 2 and v.mem == 3 and v.bw == 4
+
+    def test_from_iterable_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            ResourceVector.from_iterable([1, 2, 3])
+
+    def test_num_resource_kinds(self):
+        assert NUM_RESOURCE_KINDS == 4
+
+    def test_getitem_by_kind(self):
+        v = ResourceVector(1, 2, 3, 4)
+        assert v[ResourceKind.GPU] == 1
+        assert v[ResourceKind.BW] == 4
+
+    def test_iter_yields_in_kind_order(self):
+        assert list(ResourceVector(1, 2, 3, 4)) == [1, 2, 3, 4]
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(4, 3, 2, 1)
+        assert (a + b).as_tuple() == (5, 5, 5, 5)
+
+    def test_sub(self):
+        a = ResourceVector(5, 5, 5, 5)
+        b = ResourceVector(1, 2, 3, 4)
+        assert (a - b).as_tuple() == (4, 3, 2, 1)
+
+    def test_scalar_mul_commutes(self):
+        v = ResourceVector(1, 2, 3, 4)
+        assert (v * 2).as_tuple() == (2 * v).as_tuple() == (2, 4, 6, 8)
+
+    def test_divide_by(self):
+        load = ResourceVector(2, 16, 122, 625)
+        cap = ResourceVector(4, 32, 244, 1250)
+        assert load.divide_by(cap).as_tuple() == (0.5, 0.5, 0.5, 0.5)
+
+    def test_divide_by_zero_capacity_gives_zero(self):
+        load = ResourceVector(1, 1, 1, 1)
+        cap = ResourceVector(0, 0, 0, 0)
+        assert load.divide_by(cap).as_tuple() == (0, 0, 0, 0)
+
+    def test_clamp_nonnegative(self):
+        v = ResourceVector(-1e-15, 1, -2, 3)
+        assert v.clamp_nonnegative().as_tuple() == (0, 1, 0, 3)
+
+
+class TestComparisons:
+    def test_fits_within(self):
+        small = ResourceVector(1, 1, 1, 1)
+        big = ResourceVector(2, 2, 2, 2)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_fits_within_tolerance(self):
+        a = ResourceVector(1.0 + 1e-12, 1, 1, 1)
+        assert a.fits_within(ResourceVector(1, 1, 1, 1))
+
+    def test_exceeds_any(self):
+        v = ResourceVector(0.5, 0.95, 0.2, 0.1)
+        assert v.exceeds_any(0.9)
+        assert not v.exceeds_any(0.95)
+
+
+class TestGeometry:
+    def test_norm(self):
+        assert ResourceVector(3, 4, 0, 0).norm() == pytest.approx(5.0)
+
+    def test_distance(self):
+        a = ResourceVector(1, 0, 0, 0)
+        b = ResourceVector(0, 1, 0, 0)
+        assert a.distance_to(b) == pytest.approx(math.sqrt(2))
+
+    def test_element_minmax(self):
+        a = ResourceVector(1, 5, 2, 8)
+        b = ResourceVector(3, 4, 6, 7)
+        assert a.element_max(b).as_tuple() == (3, 5, 6, 8)
+        assert a.element_min(b).as_tuple() == (1, 4, 2, 7)
+
+    def test_max_component(self):
+        assert ResourceVector(1, 9, 3, 4).max_component() == 9
+
+    def test_replace(self):
+        v = ResourceVector(1, 2, 3, 4).replace(ResourceKind.MEM, 9)
+        assert v.as_tuple() == (1, 2, 9, 4)
+
+
+class TestProperties:
+    @given(vectors, vectors)
+    def test_add_commutes(self, a, b):
+        assert (a + b).as_tuple() == (b + a).as_tuple()
+
+    @given(vectors)
+    def test_sub_self_is_zero(self, a):
+        assert (a - a).norm() == 0.0
+
+    @given(vectors)
+    def test_norm_nonnegative(self, a):
+        assert a.norm() >= 0.0
+
+    @given(vectors, vectors)
+    def test_triangle_inequality(self, a, b):
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-6
+
+    @given(vectors, vectors)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(vectors)
+    def test_element_max_with_self(self, a):
+        assert a.element_max(a).as_tuple() == a.as_tuple()

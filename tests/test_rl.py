@@ -1,0 +1,287 @@
+"""Unit tests for the NumPy RL substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl import (
+    Adam,
+    Decision,
+    ImitationBuffer,
+    ImitationTrainer,
+    MLP,
+    ReinforceTrainer,
+    RewardBaseline,
+    SGD,
+    ScoringPolicy,
+    Trajectory,
+    clip_gradients,
+    relu,
+    relu_grad,
+    softmax,
+)
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.allclose(relu(x), [0.0, 0.0, 2.0])
+        assert np.allclose(relu_grad(x), [0.0, 0.0, 1.0])
+
+    def test_softmax_sums_to_one(self):
+        probs = softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[2] > probs[1] > probs[0]
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([1000.0, 1000.0]))
+        assert np.allclose(probs, [0.5, 0.5])
+
+
+class TestMLP:
+    def test_shapes(self):
+        net = MLP([4, 8, 2], seed=0)
+        out = net.forward(np.zeros((3, 4)))
+        assert out.shape == (3, 2)
+        assert net.input_size == 4 and net.output_size == 2
+
+    def test_rejects_too_few_layers(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_deterministic_init(self):
+        a, b = MLP([3, 5, 1], seed=42), MLP([3, 5, 1], seed=42)
+        assert all(np.array_equal(x, y) for x, y in zip(a.weights, b.weights))
+
+    def test_backward_requires_forward(self):
+        net = MLP([2, 2], seed=0)
+        with pytest.raises(RuntimeError):
+            net.backward(np.zeros((1, 2)))
+
+    def test_gradient_check_finite_difference(self):
+        net = MLP([3, 4, 1], seed=1)
+        x = np.random.default_rng(0).normal(size=(2, 3))
+        out = net.forward(x)
+        loss_grad = np.ones_like(out)
+        grads = net.backward(loss_grad)
+        eps = 1e-6
+        w = net.weights[0]
+        numeric = np.zeros_like(w)
+        for i in range(w.shape[0]):
+            for j in range(w.shape[1]):
+                w[i, j] += eps
+                up = net.predict(x).sum()
+                w[i, j] -= 2 * eps
+                down = net.predict(x).sum()
+                w[i, j] += eps
+                numeric[i, j] = (up - down) / (2 * eps)
+        assert np.allclose(grads[0][0], numeric, atol=1e-4)
+
+    def test_state_dict_roundtrip(self):
+        net = MLP([3, 4, 1], seed=1)
+        state = net.state_dict()
+        other = MLP([3, 4, 1], seed=99)
+        other.load_state_dict(state)
+        x = np.ones((1, 3))
+        assert np.allclose(net.predict(x), other.predict(x))
+
+    def test_predict_matches_forward(self):
+        net = MLP([3, 4, 1], seed=1)
+        x = np.random.default_rng(1).normal(size=(5, 3))
+        assert np.allclose(net.forward(x), net.predict(x))
+
+
+class TestOptimizers:
+    def _loss_after_steps(self, optimizer, steps=200):
+        net = MLP([2, 8, 1], seed=3)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 2))
+        y = (x[:, :1] * 2.0 - x[:, 1:] * 0.5) + 1.0
+        for _ in range(steps):
+            pred = net.forward(x)
+            grad = 2.0 * (pred - y) / len(x)
+            optimizer.step(net, net.backward(grad))
+        return float(np.mean((net.predict(x) - y) ** 2))
+
+    def test_sgd_reduces_loss(self):
+        assert self._loss_after_steps(SGD(learning_rate=1e-2)) < 0.1
+
+    def test_adam_reduces_loss(self):
+        assert self._loss_after_steps(Adam(learning_rate=1e-2)) < 0.05
+
+    def test_momentum_sgd(self):
+        assert self._loss_after_steps(SGD(learning_rate=5e-3, momentum=0.9)) < 0.1
+
+    def test_clip_gradients_norm(self):
+        grads = [(np.full((2, 2), 10.0), np.full(2, 10.0))]
+        clipped = clip_gradients(grads, max_norm=1.0)
+        total = np.sqrt(
+            sum(float(np.sum(g * g)) + float(np.sum(b * b)) for g, b in clipped)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_clip_noop_when_small(self):
+        grads = [(np.full((2, 2), 0.01), np.zeros(2))]
+        clipped = clip_gradients(grads, max_norm=10.0)
+        assert np.allclose(clipped[0][0], grads[0][0])
+
+
+class TestScoringPolicy:
+    def test_probabilities_valid(self):
+        policy = ScoringPolicy(feature_size=5, seed=0)
+        features = np.random.default_rng(0).normal(size=(7, 5))
+        probs = policy.probabilities(features)
+        assert probs.shape == (7,)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()
+
+    def test_feature_size_enforced(self):
+        policy = ScoringPolicy(feature_size=5, seed=0)
+        with pytest.raises(ValueError):
+            policy.scores(np.zeros((2, 3)))
+
+    def test_greedy_choose_is_argmax(self):
+        policy = ScoringPolicy(feature_size=4, seed=1)
+        features = np.random.default_rng(1).normal(size=(6, 4))
+        choice = policy.choose(features, greedy=True)
+        assert choice.index == int(np.argmax(policy.probabilities(features)))
+        assert choice.log_prob <= 0.0
+
+    def test_sampling_deterministic_per_seed(self):
+        features = np.random.default_rng(2).normal(size=(5, 4))
+        a = ScoringPolicy(feature_size=4, seed=9).choose(features, greedy=False)
+        b = ScoringPolicy(feature_size=4, seed=9).choose(features, greedy=False)
+        assert a.index == b.index
+
+    def test_imitation_learns_simple_rule(self):
+        # Expert always picks the candidate with the largest first feature.
+        rng = np.random.default_rng(3)
+        policy = ScoringPolicy(feature_size=3, hidden_sizes=(16,), seed=2)
+        optimizer = Adam(learning_rate=5e-3)
+        for _ in range(400):
+            features = rng.normal(size=(4, 3))
+            expert = int(np.argmax(features[:, 0]))
+            policy.imitation_step(features, expert, optimizer)
+        hits = 0
+        for _ in range(100):
+            features = rng.normal(size=(4, 3))
+            expert = int(np.argmax(features[:, 0]))
+            hits += int(policy.choose(features).index == expert)
+        assert hits >= 85
+
+    def test_policy_gradient_shifts_probability(self):
+        policy = ScoringPolicy(feature_size=3, seed=4)
+        optimizer = Adam(learning_rate=1e-2)
+        features = np.random.default_rng(4).normal(size=(3, 3))
+        before = policy.probabilities(features)[1]
+        for _ in range(50):
+            policy.policy_gradient_step(features, 1, advantage=1.0, optimizer=optimizer)
+        after = policy.probabilities(features)[1]
+        assert after > before
+
+    def test_negative_advantage_reduces_probability(self):
+        policy = ScoringPolicy(feature_size=3, seed=5)
+        optimizer = Adam(learning_rate=1e-2)
+        features = np.random.default_rng(5).normal(size=(3, 3))
+        before = policy.probabilities(features)[0]
+        for _ in range(50):
+            policy.policy_gradient_step(features, 0, advantage=-1.0, optimizer=optimizer)
+        assert policy.probabilities(features)[0] < before
+
+    def test_expert_agreement_empty(self):
+        policy = ScoringPolicy(feature_size=3, seed=6)
+        assert policy.expert_agreement([]) == 0.0
+
+
+class TestReplay:
+    def test_imitation_buffer_capacity(self):
+        buffer = ImitationBuffer(capacity=10, seed=0)
+        for i in range(100):
+            buffer.add(Decision(features=np.zeros((2, 3)), chosen_index=i % 2))
+        assert len(buffer) == 10
+
+    def test_buffer_sample(self):
+        buffer = ImitationBuffer(capacity=50, seed=0)
+        for i in range(20):
+            buffer.add(Decision(features=np.zeros((2, 3)), chosen_index=0))
+        assert len(buffer.sample(5)) == 5
+        assert len(buffer.sample(100)) == 20
+
+    def test_trajectory_discounted_returns(self):
+        trajectory = Trajectory()
+        for reward in (0.0, 0.0, 1.0):
+            trajectory.add_step(
+                Decision(features=np.zeros((1, 2)), chosen_index=0), reward
+            )
+        returns = trajectory.discounted_returns(0.5)
+        assert returns == pytest.approx([0.25, 0.5, 1.0])
+
+    def test_baseline_update(self):
+        baseline = RewardBaseline(decay=0.5)
+        assert baseline.value == 0.0
+        advantage = baseline.update(10.0)
+        assert advantage == pytest.approx(10.0)
+        assert baseline.value == pytest.approx(10.0)
+        advantage = baseline.update(20.0)
+        assert advantage == pytest.approx(10.0)
+        assert baseline.value == pytest.approx(15.0)
+
+
+class TestTrainers:
+    def _expert_buffer(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        buffer = ImitationBuffer(capacity=n, seed=seed)
+        for _ in range(n):
+            features = rng.normal(size=(4, 3))
+            buffer.add(
+                Decision(features=features, chosen_index=int(np.argmax(features[:, 0])))
+            )
+        return buffer
+
+    def test_imitation_trainer_converges(self):
+        buffer = self._expert_buffer()
+        policy = ScoringPolicy(feature_size=3, hidden_sizes=(16,), seed=1)
+        trainer = ImitationTrainer(policy=policy, learning_rate=5e-3)
+        stats = trainer.train(buffer, epochs=6)
+        assert stats["agreement"] > 0.8
+
+    def test_imitation_trainer_empty_buffer(self):
+        policy = ScoringPolicy(feature_size=3, seed=1)
+        stats = ImitationTrainer(policy=policy).train(ImitationBuffer())
+        assert stats == {"epochs": 0.0, "loss": 0.0, "agreement": 0.0}
+
+    def test_reinforce_on_bandit(self):
+        # One-step bandit: candidate 0 pays 1, candidate 1 pays 0.
+        policy = ScoringPolicy(feature_size=2, hidden_sizes=(8,), seed=2)
+        trainer = ReinforceTrainer(policy=policy, learning_rate=5e-3, discount=0.9)
+        features = np.array([[1.0, 0.0], [0.0, 1.0]])
+
+        def run_episode(p):
+            trajectory = Trajectory()
+            choice = p.choose(features, greedy=False)
+            reward = 1.0 if choice.index == 0 else 0.0
+            trajectory.add_step(
+                Decision(features=features, chosen_index=choice.index), reward
+            )
+            return trajectory
+
+        trainer.train_episodes(run_episode, episodes=150)
+        assert policy.choose(features, greedy=True).index == 0
+
+    def test_reinforce_empty_trajectory(self):
+        policy = ScoringPolicy(feature_size=2, seed=3)
+        trainer = ReinforceTrainer(policy=policy)
+        assert trainer.train_on_trajectory(Trajectory())["steps"] == 0.0
+
+    @given(st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_returns_bounded_by_total_reward(self, discount):
+        trajectory = Trajectory()
+        for reward in (1.0, 1.0, 1.0):
+            trajectory.add_step(
+                Decision(features=np.zeros((1, 2)), chosen_index=0), reward
+            )
+        returns = trajectory.discounted_returns(discount)
+        assert all(r <= 3.0 + 1e-9 for r in returns)
+        assert returns[0] >= returns[-1] or discount == 1.0

@@ -1,0 +1,202 @@
+"""Unit tests for trace records, the synthetic generator and job building."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    GPU_CHOICES,
+    CommStructure,
+    PartitionStyle,
+    SyntheticTraceConfig,
+    PhillyLikeTraceGenerator,
+    TraceRecord,
+    WorkloadConfig,
+    build_job,
+    build_jobs,
+    generate_trace,
+    get_model,
+    iter_window,
+    read_trace,
+    scale_job_count,
+    split_parallelism,
+    write_trace,
+)
+from tests.conftest import make_record
+
+
+class TestTraceRecord:
+    def test_validate_accepts_good_record(self):
+        make_record().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("arrival", -1.0),
+            ("gpus", 0),
+            ("iterations", 0),
+            ("accuracy_quantile", 1.5),
+            ("urgency", -1),
+        ],
+    )
+    def test_validate_rejects_bad_fields(self, field, value):
+        with pytest.raises(ValueError):
+            make_record(**{field: value}).validate()
+
+    def test_csv_roundtrip(self, tmp_path):
+        records = generate_trace(25, duration_seconds=3600.0, seed=5)
+        path = tmp_path / "trace.csv"
+        count = write_trace(records, path)
+        assert count == 25
+        loaded = read_trace(path)
+        assert loaded == records
+
+    def test_read_missing_column_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("job_id,arrival_time\nj0,0\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_iter_window(self):
+        records = generate_trace(50, duration_seconds=1000.0, seed=1)
+        window = list(iter_window(records, 200.0, 600.0))
+        assert all(200.0 <= r.arrival_time < 600.0 for r in window)
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_given_seed(self):
+        a = generate_trace(30, seed=7)
+        b = generate_trace(30, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert generate_trace(30, seed=1) != generate_trace(30, seed=2)
+
+    def test_arrivals_sorted_within_window(self):
+        records = generate_trace(100, duration_seconds=5000.0, seed=3)
+        arrivals = [r.arrival_time for r in records]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a <= 5000.0 for a in arrivals)
+
+    def test_gpu_counts_from_paper_set(self):
+        records = generate_trace(200, seed=4)
+        assert {r.gpus_requested for r in records} <= set(GPU_CHOICES)
+
+    def test_small_jobs_dominate(self):
+        records = generate_trace(500, seed=5)
+        single = sum(1 for r in records if r.gpus_requested == 1)
+        big = sum(1 for r in records if r.gpus_requested >= 16)
+        assert single > big  # Philly-like skew
+
+    def test_iteration_clamps(self):
+        config = SyntheticTraceConfig(
+            num_jobs=100, min_iterations=5, max_iterations=50
+        )
+        records = PhillyLikeTraceGenerator(config, seed=6).generate()
+        assert all(5 <= r.max_iterations <= 50 for r in records)
+
+    def test_records_validate(self):
+        for record in generate_trace(50, seed=8):
+            record.validate()
+
+    def test_diurnal_zero_uniform(self):
+        records = generate_trace(
+            50, duration_seconds=86400.0, seed=9, diurnal_strength=0.0
+        )
+        assert len(records) == 50
+
+
+class TestSplitParallelism:
+    def test_svm_pure_data_parallel(self):
+        replicas, partitions = split_parallelism("svm", 8)
+        assert (replicas, partitions) == (8, 1)
+
+    def test_small_job_model_parallel_only(self):
+        assert split_parallelism("alexnet", 2) == (1, 2)
+
+    def test_large_job_mixed(self):
+        replicas, partitions = split_parallelism("resnet", 16)
+        assert replicas == 2 and partitions == 8
+
+    def test_product_preserved(self):
+        for gpus in GPU_CHOICES:
+            for model in ("alexnet", "resnet", "svm"):
+                r, p = split_parallelism(model, gpus)
+                assert r * p == gpus
+
+
+class TestBuildJob:
+    def test_deadline_respects_formula(self):
+        cfg = WorkloadConfig()
+        record = make_record(iterations=20)
+        job = build_job(record, random.Random(3), cfg)
+        slack = job.deadline - job.arrival_time
+        assert slack >= cfg.deadline_slack_factor * job.estimated_duration - 1e-6
+        assert slack >= cfg.deadline_uniform_range_hours[0] * 3600.0
+
+    def test_accuracy_requirement_feasible(self):
+        for seed in range(20):
+            job = build_job(make_record(), random.Random(seed), WorkloadConfig())
+            assert job.accuracy_requirement <= job.accuracy_at(job.max_iterations)
+
+    def test_single_replica_forces_ps(self):
+        record = make_record(gpus=2, model="alexnet")
+        for seed in range(30):
+            job = build_job(record, random.Random(seed), WorkloadConfig())
+            assert job.comm_structure is CommStructure.PARAMETER_SERVER
+
+    def test_estimated_duration_positive_scales_with_iterations(self):
+        short = build_job(make_record(iterations=5), random.Random(1), WorkloadConfig())
+        long = build_job(make_record(iterations=50), random.Random(1), WorkloadConfig())
+        assert 0 < short.estimated_duration < long.estimated_duration
+
+    def test_build_jobs_sorted_unique(self):
+        records = generate_trace(40, seed=10)
+        jobs = build_jobs(records, seed=11)
+        arrivals = [j.arrival_time for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert len({j.job_id for j in jobs}) == 40
+
+    def test_build_jobs_deterministic(self):
+        records = generate_trace(10, seed=12)
+        a = build_jobs(records, seed=13)
+        b = build_jobs(records, seed=13)
+        assert [j.deadline for j in a] == [j.deadline for j in b]
+        assert [j.accuracy_requirement for j in a] == [
+            j.accuracy_requirement for j in b
+        ]
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_build_job_any_seed(self, seed):
+        job = build_job(make_record(), random.Random(seed), WorkloadConfig())
+        assert job.tasks
+        assert job.deadline > job.arrival_time
+
+
+class TestScaleJobCount:
+    def test_truncates(self):
+        records = generate_trace(40, seed=1)
+        scaled = scale_job_count(records, 0.5)
+        assert len(scaled) == 20
+
+    def test_replicates_with_unique_ids(self):
+        records = generate_trace(10, seed=1)
+        scaled = scale_job_count(records, 2.5)
+        assert len(scaled) == 25
+        assert len({r.job_id for r in scaled}) == 25
+
+    def test_identity(self):
+        records = generate_trace(10, seed=1)
+        assert scale_job_count(records, 1.0) == list(records)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_job_count(generate_trace(5, seed=1), 0.0)
+
+    def test_scaled_sorted(self):
+        scaled = scale_job_count(generate_trace(10, seed=2), 3.0)
+        arrivals = [r.arrival_time for r in scaled]
+        assert arrivals == sorted(arrivals)

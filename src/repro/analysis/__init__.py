@@ -12,6 +12,12 @@ from repro.analysis.tables import (
     improvement,
     summary_rows,
 )
+from repro.analysis.telemetry import (
+    load_telemetry,
+    summary_table,
+    telemetry_rows,
+    telemetry_table,
+)
 
 __all__ = [
     "FigureSeries",
@@ -22,7 +28,11 @@ __all__ = [
     "empirical_cdf",
     "format_table",
     "improvement",
+    "load_telemetry",
     "log_spaced_points",
     "percentile",
     "summary_rows",
+    "summary_table",
+    "telemetry_rows",
+    "telemetry_table",
 ]

@@ -1,0 +1,74 @@
+"""Service-telemetry analysis: turn JSONL round records into tables.
+
+The daemon (:mod:`repro.service.telemetry`) emits one JSON record per
+scheduler round.  This module renders those streams with the same
+table/CDF tooling the batch benchmarks use, so online-service runs and
+batch-simulation runs report through one pipeline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.tables import format_table
+
+#: Columns of the per-round table, in display order.
+ROUND_COLUMNS = (
+    "round",
+    "sim_time",
+    "queue_depth",
+    "admission_queue_depth",
+    "active_jobs",
+    "running_jobs",
+    "overload_degree",
+    "placements",
+    "migrations",
+    "evictions",
+    "completions",
+    "jct_p50",
+    "jct_p95",
+)
+
+
+def telemetry_rows(
+    records: Iterable[dict[str, Any]], columns: Sequence[str] = ROUND_COLUMNS
+) -> list[list[object]]:
+    """Per-round table rows (missing fields render as 0)."""
+    rows: list[list[object]] = []
+    for record in records:
+        rows.append([record.get(column, 0) for column in columns])
+    return rows
+
+
+def telemetry_table(
+    records: Iterable[dict[str, Any]],
+    columns: Sequence[str] = ROUND_COLUMNS,
+    every: int = 1,
+    precision: int = 2,
+) -> str:
+    """Render a telemetry stream as an aligned table.
+
+    ``every`` subsamples long runs (keep one row in ``every``, always
+    including the final row).
+    """
+    records = list(records)
+    if every > 1 and records:
+        kept = records[::every]
+        if kept[-1] is not records[-1]:
+            kept.append(records[-1])
+        records = kept
+    return format_table(list(columns), telemetry_rows(records, columns), precision)
+
+
+def summary_table(summary: dict[str, float], precision: int = 2) -> str:
+    """Render a :func:`repro.service.telemetry.summarize_telemetry` dict."""
+    rows = [[key, value] for key, value in summary.items()]
+    return format_table(["metric", "value"], rows, precision=precision)
+
+
+def load_telemetry(path: str | Path) -> list[dict[str, Any]]:
+    """Read a telemetry JSONL file (re-export for analysis callers)."""
+    from repro.service.telemetry import read_telemetry
+
+    return read_telemetry(path)

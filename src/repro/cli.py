@@ -6,6 +6,9 @@ Commands
 ``run``      Run one scheduler over a trace and print its summary.
 ``compare``  Run several schedulers over the same trace and emit a
              Markdown report.
+``serve``    Run the online scheduler daemon on a local socket.
+``submit``   Submit one job to a running daemon.
+``ctl``      Control a running daemon (status/metrics/drain/cancel/...).
 
 Examples
 --------
@@ -15,53 +18,27 @@ Examples
     python -m repro run --trace trace.csv --scheduler MLFS --servers 8
     python -m repro compare --trace trace.csv --servers 8 \
         --schedulers MLFS,Tiresias,Graphene --out report.md
+    python -m repro serve --socket /tmp/repro.sock --servers 8
+    python -m repro submit --socket /tmp/repro.sock --model resnet --gpus 4
+    python -m repro ctl --socket /tmp/repro.sock metrics
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import functools
+import json
 import sys
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.report import render_report
-from repro.baselines import (
-    FIFOScheduler,
-    FairScheduler,
-    GandivaScheduler,
-    GrapheneScheduler,
-    HyperSchedScheduler,
-    RLScheduler,
-    SLAQScheduler,
-    TiresiasScheduler,
-)
 from repro.cluster import Cluster
-from repro.core import make_mlf_h, make_mlf_rl, make_mlfs
+from repro.schedulers import SCHEDULER_FACTORIES, scheduler_by_name
 from repro.sim import EngineConfig, SimulationSetup, run_comparison, run_simulation
 from repro.workload import generate_trace, read_trace, write_trace
 
-#: Scheduler name → zero-argument factory.
-SCHEDULER_FACTORIES: dict[str, Callable[[], object]] = {
-    "MLFS": make_mlfs,
-    "MLF-RL": make_mlf_rl,
-    "MLF-H": make_mlf_h,
-    "FIFO": FIFOScheduler,
-    "TensorFlow": FairScheduler,
-    "SLAQ": SLAQScheduler,
-    "Tiresias": TiresiasScheduler,
-    "Gandiva": GandivaScheduler,
-    "Graphene": GrapheneScheduler,
-    "HyperSched": HyperSchedScheduler,
-    "RL": RLScheduler,
-}
-
-
-def scheduler_by_name(name: str):
-    """Instantiate a scheduler by its display name."""
-    try:
-        return SCHEDULER_FACTORIES[name]()
-    except KeyError:
-        known = ", ".join(sorted(SCHEDULER_FACTORIES))
-        raise SystemExit(f"unknown scheduler {name!r}; choose from: {known}")
+__all__ = ["SCHEDULER_FACTORIES", "scheduler_by_name", "build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,6 +71,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated scheduler names",
     )
     p_cmp.add_argument("--out", default=None, help="write the Markdown report here")
+
+    p_serve = sub.add_parser("serve", help="run the online scheduler daemon")
+    p_serve.add_argument("--socket", default="repro-service.sock")
+    p_serve.add_argument("--scheduler", default="MLF-H")
+    p_serve.add_argument("--servers", type=int, default=8)
+    p_serve.add_argument("--gpus-per-server", type=int, default=4)
+    p_serve.add_argument("--tick-seconds", type=float, default=60.0)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--round-interval",
+        type=float,
+        default=1.0,
+        help="real seconds between scheduler rounds (0 = only on drain)",
+    )
+    p_serve.add_argument("--admission-policy", choices=["queue", "reject"], default="queue")
+    p_serve.add_argument("--admission-threshold", type=float, default=0.90)
+    p_serve.add_argument("--snapshot-dir", default=None)
+    p_serve.add_argument("--snapshot-every", type=int, default=10, help="rounds")
+    p_serve.add_argument("--telemetry", default=None, help="telemetry JSONL path")
+    p_serve.add_argument(
+        "--restore",
+        action="store_true",
+        help="resume from the newest snapshot in --snapshot-dir",
+    )
+
+    p_sub = sub.add_parser("submit", help="submit one job to a running daemon")
+    p_sub.add_argument("--socket", default="repro-service.sock")
+    p_sub.add_argument("--model", default="alexnet")
+    p_sub.add_argument("--gpus", type=int, default=4)
+    p_sub.add_argument("--iterations", type=int, default=20)
+    p_sub.add_argument("--accuracy", type=float, default=0.8)
+    p_sub.add_argument("--urgency", type=int, default=5)
+    p_sub.add_argument("--data-mb", type=float, default=500.0)
+    p_sub.add_argument("--job-id", default=None)
+    p_sub.add_argument(
+        "--wait", action="store_true", help="block until the job is terminal"
+    )
+    p_sub.add_argument("--timeout", type=float, default=300.0)
+
+    p_ctl = sub.add_parser("ctl", help="control a running daemon")
+    p_ctl.add_argument("--socket", default="repro-service.sock")
+    p_ctl.add_argument(
+        "verb",
+        choices=["status", "metrics", "drain", "cancel", "snapshot", "ping", "shutdown"],
+    )
+    p_ctl.add_argument("job_id", nargs="?", default=None, help="for status/cancel")
     return parser
 
 
@@ -142,10 +165,112 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the scheduler daemon until shutdown (Ctrl-C or ``ctl shutdown``)."""
+    from repro.service import ServiceConfig
+    from repro.service.daemon import serve
+
+    config = ServiceConfig(
+        socket_path=args.socket,
+        scheduler=args.scheduler,
+        servers=args.servers,
+        gpus_per_server=args.gpus_per_server,
+        tick_seconds=args.tick_seconds,
+        seed=args.seed,
+        round_interval=args.round_interval,
+        admission_policy=args.admission_policy,
+        admission_threshold=args.admission_threshold,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_every=args.snapshot_every,
+        telemetry_path=args.telemetry,
+    )
+    print(f"repro daemon listening on {args.socket} (scheduler={args.scheduler})")
+    try:
+        asyncio.run(serve(config, restore=args.restore))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _client_errors(fn):
+    """Turn daemon/socket errors into one-line messages, not tracebacks."""
+
+    @functools.wraps(fn)
+    def wrapper(args) -> int:
+        from repro.service import ServiceError
+
+        try:
+            return fn(args)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+        except (ConnectionRefusedError, FileNotFoundError):
+            print(f"error: no daemon listening on {args.socket}", file=sys.stderr)
+        return 1
+
+    return wrapper
+
+
+@_client_errors
+def cmd_submit(args) -> int:
+    """Submit one job to a running daemon; optionally wait for it."""
+    from repro.service import JobSpec, ServiceClient
+
+    spec = JobSpec(
+        model_name=args.model,
+        gpus_requested=args.gpus,
+        max_iterations=args.iterations,
+        accuracy_requirement=args.accuracy,
+        urgency=args.urgency,
+        training_data_mb=args.data_mb,
+        job_id=args.job_id,
+    )
+    with ServiceClient(args.socket) as client:
+        out = client.submit(spec)
+        print(json.dumps(out, indent=2))
+        if args.wait and out.get("status") in {"admitted", "queued"}:
+            status = client.wait(out["job_id"], timeout=args.timeout)
+            print(json.dumps(status, indent=2))
+    return 0
+
+
+@_client_errors
+def cmd_ctl(args) -> int:
+    """One control verb against a running daemon."""
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.socket) as client:
+        if args.verb == "status":
+            out = client.status(args.job_id)
+        elif args.verb == "metrics":
+            out = client.metrics()
+        elif args.verb == "drain":
+            out = client.drain()
+        elif args.verb == "cancel":
+            if not args.job_id:
+                raise SystemExit("ctl cancel requires a job_id")
+            out = client.cancel(args.job_id)
+        elif args.verb == "snapshot":
+            out = {"path": client.snapshot()}
+        elif args.verb == "ping":
+            out = {"pong": client.ping()}
+        else:  # shutdown
+            client.shutdown()
+            out = {"stopping": True}
+    print(json.dumps(out, indent=2))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    handlers = {"trace": cmd_trace, "run": cmd_run, "compare": cmd_compare}
+    handlers = {
+        "trace": cmd_trace,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "ctl": cmd_ctl,
+    }
     return handlers[args.command](args)
 
 

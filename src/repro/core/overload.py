@@ -31,6 +31,36 @@ from repro.workload.job import Task
 
 
 @dataclass
+class OverloadTracker:
+    """EWMA-smoothed cluster overload degree ``O_c`` (Section 3.5).
+
+    The instantaneous ``O_c = (1/|N|) * Σ_s ||U_s||`` is noisy round to
+    round (placements land, iterations finish).  Admission control in the
+    service layer compares a smoothed value against ``h_s`` so that a
+    single hot round does not flap the admission gate: accept/reject
+    decisions follow the sustained overload level, not one sample.
+    """
+
+    #: EWMA weight of the newest sample; 1.0 disables smoothing.
+    alpha: float = 0.5
+    value: float = 0.0
+    _primed: bool = field(default=False, repr=False)
+
+    def observe(self, degree: float) -> float:
+        """Fold in one ``O_c`` sample; returns the smoothed value."""
+        if not self._primed:
+            self.value = degree
+            self._primed = True
+        else:
+            self.value = self.alpha * degree + (1.0 - self.alpha) * self.value
+        return self.value
+
+    def exceeds(self, threshold: float) -> bool:
+        """Whether the smoothed overload degree is above ``h_s``."""
+        return self._primed and self.value > threshold
+
+
+@dataclass
 class MigrationSelector:
     """Chooses which tasks leave an overloaded server."""
 

@@ -1,0 +1,47 @@
+"""The scheduler registry: display name → zero-argument factory.
+
+Shared by the CLI and the service daemon (which cannot import
+:mod:`repro.cli` without creating a cycle).  Names match the labels the
+paper's figures use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines import (
+    FIFOScheduler,
+    FairScheduler,
+    GandivaScheduler,
+    GrapheneScheduler,
+    HyperSchedScheduler,
+    RLScheduler,
+    SLAQScheduler,
+    TiresiasScheduler,
+)
+from repro.core import make_mlf_h, make_mlf_rl, make_mlfs
+from repro.sim.interface import Scheduler
+
+#: Scheduler name → zero-argument factory.
+SCHEDULER_FACTORIES: dict[str, Callable[[], Scheduler]] = {
+    "MLFS": make_mlfs,
+    "MLF-RL": make_mlf_rl,
+    "MLF-H": make_mlf_h,
+    "FIFO": FIFOScheduler,
+    "TensorFlow": FairScheduler,
+    "SLAQ": SLAQScheduler,
+    "Tiresias": TiresiasScheduler,
+    "Gandiva": GandivaScheduler,
+    "Graphene": GrapheneScheduler,
+    "HyperSched": HyperSchedScheduler,
+    "RL": RLScheduler,
+}
+
+
+def scheduler_by_name(name: str) -> Scheduler:
+    """Instantiate a scheduler by its display name."""
+    try:
+        return SCHEDULER_FACTORIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULER_FACTORIES))
+        raise SystemExit(f"unknown scheduler {name!r}; choose from: {known}")

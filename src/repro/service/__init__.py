@@ -1,0 +1,69 @@
+"""Online scheduler service: daemon, client, admission, snapshots, telemetry.
+
+Turns the batch simulator into a long-running scheduler daemon.  The
+paper's scheduler "runs every minute" against a stream of arriving jobs
+(Section 4.1); this package supplies that online shell:
+
+* :mod:`repro.service.protocol` — the newline-delimited JSON wire format;
+* :mod:`repro.service.admission` — MLF-C-style admission control on the
+  cluster overload degree ``O_c`` vs ``h_s``;
+* :mod:`repro.service.daemon` — the asyncio daemon plus the synchronous
+  :class:`SchedulerService` core it wraps;
+* :mod:`repro.service.client` — a small blocking client library;
+* :mod:`repro.service.snapshot` — crash-safe snapshot/restore with
+  deterministic resume;
+* :mod:`repro.service.telemetry` — per-round JSON-lines telemetry.
+"""
+
+from repro.service.admission import (
+    AdmissionDecision,
+    AdmissionController,
+    AdmissionPolicy,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import (
+    SchedulerDaemon,
+    SchedulerService,
+    ServiceConfig,
+    serve,
+)
+from repro.service.protocol import (
+    JobSpec,
+    ProtocolError,
+    Request,
+    Response,
+    decode_line,
+    encode_line,
+    parse_request,
+    parse_response,
+)
+from repro.service.snapshot import SnapshotManager
+from repro.service.telemetry import (
+    TelemetryExporter,
+    read_telemetry,
+    summarize_telemetry,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "JobSpec",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "SchedulerDaemon",
+    "SchedulerService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SnapshotManager",
+    "TelemetryExporter",
+    "decode_line",
+    "encode_line",
+    "parse_request",
+    "parse_response",
+    "read_telemetry",
+    "serve",
+    "summarize_telemetry",
+]

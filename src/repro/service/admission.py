@@ -1,0 +1,128 @@
+"""Admission control for the scheduler daemon.
+
+MLF-C declares the system overloaded "when there are tasks in the queue
+or when ``O_c > h_s``" (Section 3.5).  The daemon applies the same
+predicate at the submission boundary: while the cluster's (smoothed)
+overload degree exceeds ``h_s``, new submissions are either parked in an
+admission queue (released oldest-first once the overload clears) or
+rejected outright, depending on policy.  The smoothing comes from
+:class:`repro.core.overload.OverloadTracker` so one hot round does not
+flap the gate.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.core.overload import OverloadTracker
+
+
+class AdmissionPolicy(enum.Enum):
+    """What to do with a submission that arrives under overload."""
+
+    #: Park it in the admission queue until the overload clears.
+    QUEUE = "queue"
+    #: Refuse it; the client must resubmit later.
+    REJECT = "reject"
+
+
+class AdmissionDecision(enum.Enum):
+    """Outcome of one admission check."""
+
+    ADMIT = "admitted"
+    QUEUE = "queued"
+    REJECT = "rejected"
+
+
+@dataclass
+class AdmissionController:
+    """Gates submissions on the cluster overload degree ``O_c``.
+
+    Parameters
+    ----------
+    threshold:
+        The system overload threshold ``h_s``.
+    policy:
+        Queue or reject submissions arriving under overload.
+    queue_limit:
+        Hard cap on the admission queue; beyond it even the QUEUE policy
+        rejects (back-pressure toward the client).
+    alpha:
+        EWMA weight for the overload tracker (1.0 = raw ``O_c``).
+    """
+
+    threshold: float = 0.90
+    policy: AdmissionPolicy = AdmissionPolicy.QUEUE
+    queue_limit: int = 1024
+    alpha: float = 0.5
+    tracker: OverloadTracker = field(init=False)
+    _pending: Deque[str] = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        self.tracker = OverloadTracker(alpha=self.alpha)
+
+    # -- sampling ----------------------------------------------------------
+
+    def observe(self, cluster: Cluster) -> float:
+        """Fold in the current ``O_c``; call once per scheduler round."""
+        return self.tracker.observe(cluster.overload_degree())
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether the smoothed ``O_c`` currently exceeds ``h_s``."""
+        return self.tracker.exceeds(self.threshold)
+
+    # -- admission ---------------------------------------------------------
+
+    def check(self, cluster: Cluster) -> AdmissionDecision:
+        """Decide the fate of a submission arriving right now.
+
+        Uses the live cluster for the freshest sample, folded into the
+        tracker.  Earlier queued submissions keep their queue order: a
+        new submission cannot jump ahead of a non-empty admission queue.
+        """
+        self.observe(cluster)
+        if not self.overloaded and not self._pending:
+            return AdmissionDecision.ADMIT
+        if self.policy is AdmissionPolicy.REJECT:
+            return AdmissionDecision.REJECT
+        if len(self._pending) >= self.queue_limit:
+            return AdmissionDecision.REJECT
+        return AdmissionDecision.QUEUE
+
+    def park(self, job_id: str) -> None:
+        """Append a queued submission to the admission queue."""
+        self._pending.append(job_id)
+
+    def release(self, cluster: Cluster, limit: Optional[int] = None) -> list[str]:
+        """Job ids to admit now that (maybe) the overload cleared.
+
+        Returns an empty list while the smoothed overload persists.
+        ``limit`` bounds how many release per call (default: all).
+        """
+        self.observe(cluster)
+        if self.overloaded:
+            return []
+        count = len(self._pending) if limit is None else min(limit, len(self._pending))
+        return [self._pending.popleft() for _ in range(count)]
+
+    def withdraw(self, job_id: str) -> bool:
+        """Remove a parked submission (client cancel); True if found."""
+        try:
+            self._pending.remove(job_id)
+        except ValueError:
+            return False
+        return True
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of submissions parked in the admission queue."""
+        return len(self._pending)
+
+    def parked_ids(self) -> list[str]:
+        """Snapshot of the admission queue, oldest first."""
+        return list(self._pending)

@@ -1,0 +1,151 @@
+"""Blocking client for the scheduler daemon.
+
+Speaks the newline-delimited JSON protocol over a Unix domain socket.
+One request ↔ one response, in order, on one connection; the client is
+safe to reuse sequentially but is not thread-safe.
+
+Usage::
+
+    with ServiceClient("/tmp/repro.sock") as client:
+        out = client.submit(JobSpec(model_name="resnet", gpus_requested=4))
+        client.wait(out["job_id"])
+        print(client.metrics())
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Optional
+
+from repro.service.protocol import (
+    JobSpec,
+    ProtocolError,
+    Request,
+    parse_response,
+)
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error response."""
+
+
+class ServiceClient:
+    """A small synchronous client for the daemon socket."""
+
+    def __init__(self, socket_path: str, timeout: float = 30.0) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        """Open the connection (idempotent)."""
+        if self._sock is None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing --------------------------------------------------
+
+    def call(self, op: str, **params: Any) -> dict[str, Any]:
+        """Send one request; return the ``result`` dict or raise."""
+        self.connect()
+        assert self._file is not None
+        self._next_id += 1
+        request = Request(op=op, id=f"c{self._next_id}", params=params)
+        self._file.write(request.encode())
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("connection closed by daemon")
+        try:
+            response = parse_response(line)
+        except ProtocolError as exc:
+            raise ServiceError(f"bad response: {exc}") from None
+        if not response.ok:
+            raise ServiceError(response.error or "unknown daemon error")
+        return response.result
+
+    # -- verbs -------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return bool(self.call("ping").get("pong"))
+
+    def submit(self, spec: JobSpec) -> dict[str, Any]:
+        """Submit a job; returns job_id plus the admission outcome."""
+        return self.call("submit", **spec.to_payload())
+
+    def status(self, job_id: Optional[str] = None) -> dict[str, Any]:
+        """Status of one job, or of every known job."""
+        if job_id is None:
+            return self.call("status")
+        return self.call("status", job_id=job_id)
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a parked or active job."""
+        return self.call("cancel", job_id=job_id)
+
+    def metrics(self) -> dict[str, Any]:
+        """Engine/cluster metrics snapshot."""
+        return self.call("metrics")
+
+    def drain(self, max_rounds: int = 100_000) -> dict[str, Any]:
+        """Stop admissions and run everything to completion."""
+        return self.call("drain", max_rounds=max_rounds)
+
+    def step(self, rounds: int = 1) -> dict[str, Any]:
+        """Advance scheduler rounds without draining."""
+        return self.call("step", rounds=rounds)
+
+    def snapshot(self) -> str:
+        """Force a snapshot; returns its path."""
+        return str(self.call("snapshot")["path"])
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop."""
+        self.call("shutdown")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll_interval: float = 0.05,
+    ) -> dict[str, Any]:
+        """Poll ``status`` until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in {"completed", "cancelled", "rejected"}:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} not terminal after {timeout}s")
+            time.sleep(poll_interval)

@@ -1,0 +1,531 @@
+"""The scheduler daemon: a long-running online MLFS service.
+
+Two layers:
+
+* :class:`SchedulerService` — the synchronous core.  Owns the stepping
+  :class:`~repro.sim.engine.SimulationEngine`, the admission controller,
+  the telemetry exporter and the snapshot manager.  Every verb of the
+  wire protocol maps to one method; it is fully deterministic given the
+  same sequence of (submission, round) operations, which is what the
+  snapshot/restore test leans on.
+* :class:`SchedulerDaemon` — the asyncio shell.  Listens on a Unix
+  domain socket, speaks newline-delimited JSON
+  (:mod:`repro.service.protocol`), and drives one scheduler round every
+  ``round_interval`` wall-clock seconds (the paper's "scheduler runs
+  every minute" with the wall clock decoupled from the simulated one).
+
+The daemon advances *simulated* time ``tick_seconds`` per round; real
+time only paces how often rounds fire, so tests and demos can run with a
+millisecond ``round_interval`` while preserving the paper's 60-second
+scheduling quantum.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.schedulers import scheduler_by_name
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.service.protocol import (
+    JobSpec,
+    ProtocolError,
+    Request,
+    Response,
+    parse_request,
+)
+from repro.service.snapshot import SnapshotManager
+from repro.service.telemetry import TelemetryExporter, round_record
+from repro.sim.engine import EngineConfig, RoundResult, SimulationEngine
+from repro.workload.generator import WorkloadConfig, build_job
+from repro.workload.job import Job
+from repro.workload.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon parameterization (CLI flags map 1:1 onto these)."""
+
+    socket_path: str = "repro-service.sock"
+    scheduler: str = "MLF-H"
+    servers: int = 8
+    gpus_per_server: int = 4
+    tick_seconds: float = 60.0
+    seed: int = 0
+    admission_policy: str = "queue"
+    admission_threshold: float = 0.90
+    admission_alpha: float = 0.5
+    admission_queue_limit: int = 1024
+    snapshot_dir: Optional[str] = None
+    snapshot_every: int = 10
+    snapshot_keep: int = 5
+    telemetry_path: Optional[str] = None
+    #: Real seconds between automatic rounds; 0 disables the round loop
+    #: (rounds then advance only through ``drain``).
+    round_interval: float = 1.0
+
+
+class SchedulerService:
+    """Synchronous service core: engine + admission + telemetry + snapshots."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        cluster = Cluster.build(self.config.servers, self.config.gpus_per_server)
+        scheduler = scheduler_by_name(self.config.scheduler)
+        self.engine = SimulationEngine(
+            scheduler=scheduler,
+            jobs=[],
+            cluster=cluster,
+            config=EngineConfig(
+                tick_seconds=self.config.tick_seconds,
+                seed=self.config.seed,
+                max_time=float("inf"),
+            ),
+        )
+        self.admission = AdmissionController(
+            threshold=self.config.admission_threshold,
+            policy=AdmissionPolicy(self.config.admission_policy),
+            queue_limit=self.config.admission_queue_limit,
+            alpha=self.config.admission_alpha,
+        )
+        self.telemetry = TelemetryExporter(
+            path=Path(self.config.telemetry_path)
+            if self.config.telemetry_path
+            else None
+        )
+        self.snapshots = (
+            SnapshotManager(Path(self.config.snapshot_dir), keep=self.config.snapshot_keep)
+            if self.config.snapshot_dir
+            else None
+        )
+        self._workload_rng = random.Random(self.config.seed)
+        self._workload_config = WorkloadConfig()
+        #: job_id -> {"spec": JobSpec, "job": Job|None, "state": str}
+        self._registry: dict[str, dict[str, Any]] = {}
+        self._submissions = 0
+        self.draining = False
+
+    # -- construction / restore -------------------------------------------
+
+    @classmethod
+    def restore(
+        cls, snapshot_dir: str | Path, path: Optional[Path] = None
+    ) -> "SchedulerService":
+        """Rebuild a service core from the newest (or given) snapshot."""
+        manager = SnapshotManager(Path(snapshot_dir))
+        core = manager.load(path)
+        if not isinstance(core, cls):
+            raise TypeError(f"snapshot does not contain a {cls.__name__}")
+        # The restored core keeps writing snapshots to the same ring.
+        core.snapshots = manager
+        # A restart reopens admissions: a drain that preceded the
+        # snapshot must not leave the revived daemon refusing work.
+        core.draining = False
+        return core
+
+    # -- verbs -------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> dict[str, Any]:
+        """Admit, queue, or reject one submission."""
+        if self.draining:
+            return {"job_id": spec.job_id, "status": "rejected", "reason": "draining"}
+        job_id = spec.job_id or f"svc-{self._submissions:05d}"
+        if job_id in self._registry:
+            raise ProtocolError(f"duplicate job_id {job_id!r}")
+        self._submissions += 1
+        job = self._build_job(job_id, spec)
+        decision = self.admission.check(self.engine.cluster)
+        entry = {"spec": spec, "job": job, "state": decision.value}
+        self._registry[job_id] = entry
+        if decision is AdmissionDecision.ADMIT:
+            self.engine.inject_job(job)
+            entry["state"] = "active"
+        elif decision is AdmissionDecision.QUEUE:
+            self.admission.park(job_id)
+        return {
+            "job_id": job_id,
+            "status": decision.value,
+            "overload_degree": self.admission.tracker.value,
+        }
+
+    def advance_round(self) -> RoundResult:
+        """Run one scheduler round; release parked work; emit telemetry."""
+        result = self.engine.step()
+        released = self.admission.release(self.engine.cluster)
+        for job_id in released:
+            entry = self._registry[job_id]
+            self.engine.inject_job(entry["job"])
+            entry["state"] = "active"
+        if result.ticked or result.events_processed:
+            self.telemetry.emit(
+                round_record(
+                    result,
+                    self.engine.metrics,
+                    admission_queue_depth=self.admission.queue_depth,
+                    overload_smoothed=self.admission.tracker.value,
+                )
+            )
+        if (
+            self.snapshots is not None
+            and self.config.snapshot_every > 0
+            and result.ticked
+            and self.engine.round_index % self.config.snapshot_every == 0
+        ):
+            self.snapshot_now()
+        return result
+
+    def drain(self, max_rounds: int = 100_000) -> dict[str, Any]:
+        """Stop admitting; run rounds until all work completes."""
+        self.draining = True
+        rounds = 0
+        while rounds < max_rounds and not self.idle:
+            result = self.advance_round()
+            rounds += 1
+            if result.events_processed == 0 and self.admission.queue_depth == 0:
+                break
+        self.engine.finalize()
+        return {"rounds": rounds, "idle": self.idle, **self.metrics()}
+
+    def status(self, job_id: Optional[str] = None) -> dict[str, Any]:
+        """Status of one job or of every known job."""
+        if job_id is not None:
+            entry = self._registry.get(job_id)
+            if entry is None:
+                raise ProtocolError(f"unknown job {job_id!r}")
+            return self._job_status(job_id, entry)
+        return {
+            "jobs": [self._job_status(jid, e) for jid, e in self._registry.items()],
+            "round": self.engine.round_index,
+            "sim_time": self.engine.now,
+        }
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a parked or active job."""
+        entry = self._registry.get(job_id)
+        if entry is None:
+            raise ProtocolError(f"unknown job {job_id!r}")
+        if entry["state"] == "queued" and self.admission.withdraw(job_id):
+            entry["state"] = "cancelled"
+        elif entry["state"] == "active" and self.engine.cancel_job(job_id):
+            entry["state"] = "cancelled"
+        else:
+            raise ProtocolError(f"job {job_id!r} is {entry['state']}; cannot cancel")
+        return {"job_id": job_id, "status": "cancelled"}
+
+    def metrics(self) -> dict[str, Any]:
+        """Engine/cluster metrics snapshot."""
+        return {
+            "round": self.engine.round_index,
+            "sim_time": self.engine.now,
+            "queue_depth": len(self.engine.queue),
+            "admission_queue_depth": self.admission.queue_depth,
+            "active_jobs": len(self.engine.active_jobs),
+            "overload_degree": self.engine.cluster.overload_degree(),
+            "overload_smoothed": self.admission.tracker.value,
+            "draining": self.draining,
+            "summary": self.engine.metrics.summary(),
+        }
+
+    def snapshot_now(self) -> Optional[str]:
+        """Persist a snapshot immediately; returns its path."""
+        if self.snapshots is None:
+            return None
+        path = self.snapshots.save(
+            self, round_index=self.engine.round_index, sim_time=self.engine.now
+        )
+        return str(path)
+
+    @property
+    def idle(self) -> bool:
+        """Nothing active, nothing pending anywhere."""
+        return self.engine.is_drained and self.admission.queue_depth == 0
+
+    def close(self) -> None:
+        """Release file handles (telemetry)."""
+        self.telemetry.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _build_job(self, job_id: str, spec: JobSpec) -> Job:
+        """Job construction mirrors the batch path (trace record → job).
+
+        Deadlines anchor at submission time; a stint in the admission
+        queue eats into the job's slack, exactly as in a real cluster.
+        """
+        record = TraceRecord(
+            job_id=job_id,
+            arrival_time=self.engine.now,
+            gpus_requested=spec.gpus_requested,
+            model_name=spec.model_name,
+            max_iterations=spec.max_iterations,
+            accuracy_requirement=spec.accuracy_requirement,
+            urgency=spec.urgency,
+            training_data_mb=spec.training_data_mb,
+        )
+        return build_job(record, self._workload_rng, self._workload_config)
+
+    def _job_status(self, job_id: str, entry: dict[str, Any]) -> dict[str, Any]:
+        job: Optional[Job] = entry["job"]
+        status: dict[str, Any] = {
+            "job_id": job_id,
+            "state": entry["state"],
+            "model": entry["spec"].model_name,
+            "gpus_requested": entry["spec"].gpus_requested,
+        }
+        if job is None:
+            return status
+        if entry["state"] == "active":
+            if job.is_complete:
+                entry["state"] = "completed"
+                status["state"] = "completed"
+            else:
+                status["state"] = "running" if job.placed_tasks() else "waiting"
+        status.update(
+            arrival_time=job.arrival_time,
+            iterations_completed=job.iterations_completed,
+            max_iterations=job.max_iterations,
+            placed_tasks=len(job.placed_tasks()),
+            completion_time=job.completion_time,
+            jct=job.jct(),
+            met_deadline=job.met_deadline(),
+            final_accuracy=job.final_accuracy,
+            num_migrations=sum(t.num_migrations for t in job.tasks),
+        )
+        return status
+
+    # The asyncio shell and file handles never travel into snapshots.
+    def __getstate__(self) -> dict[str, Any]:
+        return dict(self.__dict__)
+
+
+class SchedulerDaemon:
+    """Asyncio shell: socket server + periodic round loop."""
+
+    def __init__(self, core: SchedulerService) -> None:
+        self.core = core
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._round_task: Optional[asyncio.Task] = None
+        self._client_tasks: set[asyncio.Task] = set()
+        self._stop = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the round loop."""
+        socket_path = Path(self.core.config.socket_path)
+        with contextlib.suppress(FileNotFoundError):
+            socket_path.unlink()
+        socket_path.parent.mkdir(parents=True, exist_ok=True)
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=str(socket_path)
+        )
+        if self.core.config.round_interval > 0:
+            self._round_task = asyncio.create_task(self._round_loop())
+
+    async def serve_forever(self) -> None:
+        """Run until a ``shutdown`` request (or task cancellation)."""
+        await self.start()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Tear down the socket, the round loop, and the core's handles."""
+        self._stop.set()
+        if self._round_task is not None:
+            self._round_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._round_task
+            self._round_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._client_tasks):
+            task.cancel()
+        if self._client_tasks:
+            await asyncio.gather(*self._client_tasks, return_exceptions=True)
+            self._client_tasks.clear()
+        if self.core.snapshots is not None:
+            self.core.snapshot_now()
+        self.core.close()
+        with contextlib.suppress(FileNotFoundError):
+            Path(self.core.config.socket_path).unlink()
+
+    async def _round_loop(self) -> None:
+        while not self._stop.is_set():
+            await asyncio.sleep(self.core.config.round_interval)
+            if not self.core.engine.is_drained or self.core.admission.queue_depth:
+                self.core.advance_round()
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+            task.add_done_callback(self._client_tasks.discard)
+        try:
+            while not reader.at_eof():
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch_line(line)
+                writer.write(response.encode())
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch_line(self, line: bytes) -> Response:
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            return Response.failure(str(exc))
+        try:
+            return await self._dispatch(request)
+        except ProtocolError as exc:
+            return Response.failure(str(exc), id=request.id)
+        except Exception as exc:  # daemon must survive any verb failure
+            return Response.failure(f"internal error: {exc}", id=request.id)
+
+    async def _dispatch(self, request: Request) -> Response:
+        core = self.core
+        params = request.params
+        if request.op == "ping":
+            return Response.success({"pong": True}, id=request.id)
+        if request.op == "submit":
+            spec = JobSpec.from_payload(params)
+            return Response.success(core.submit(spec), id=request.id)
+        if request.op == "status":
+            return Response.success(core.status(params.get("job_id")), id=request.id)
+        if request.op == "cancel":
+            job_id = params.get("job_id")
+            if not job_id:
+                raise ProtocolError("cancel requires job_id")
+            return Response.success(core.cancel(job_id), id=request.id)
+        if request.op == "metrics":
+            return Response.success(core.metrics(), id=request.id)
+        if request.op == "drain":
+            result = await self._drain(int(params.get("max_rounds", 100_000)))
+            return Response.success(result, id=request.id)
+        if request.op == "step":
+            rounds = max(1, int(params.get("rounds", 1)))
+            last = None
+            for _ in range(rounds):
+                last = core.advance_round()
+                await asyncio.sleep(0)
+            assert last is not None
+            return Response.success(
+                {
+                    "round": last.round_index,
+                    "sim_time": last.now,
+                    "ticked": last.ticked,
+                    "queue_depth": last.queue_depth,
+                    "active_jobs": last.active_jobs,
+                },
+                id=request.id,
+            )
+        if request.op == "snapshot":
+            path = core.snapshot_now()
+            if path is None:
+                raise ProtocolError("snapshots are not configured")
+            return Response.success({"path": path}, id=request.id)
+        if request.op == "shutdown":
+            self._stop.set()
+            return Response.success({"stopping": True}, id=request.id)
+        raise ProtocolError(f"unhandled op {request.op!r}")
+
+    async def _drain(self, max_rounds: int) -> dict[str, Any]:
+        """Cooperative drain: yields to the loop between rounds."""
+        core = self.core
+        core.draining = True
+        rounds = 0
+        while rounds < max_rounds and not core.idle:
+            result = core.advance_round()
+            rounds += 1
+            if result.events_processed == 0 and core.admission.queue_depth == 0:
+                break
+            await asyncio.sleep(0)
+        core.engine.finalize()
+        return {"rounds": rounds, "idle": core.idle, **core.metrics()}
+
+
+async def serve(config: Optional[ServiceConfig] = None, restore: bool = False) -> None:
+    """Run the daemon until shutdown (the ``repro serve`` entry point)."""
+    config = config or ServiceConfig()
+    if restore:
+        if not config.snapshot_dir:
+            raise SystemExit("--restore requires --snapshot-dir")
+        core = SchedulerService.restore(config.snapshot_dir)
+        # Runtime knobs (socket, pacing) come from the new invocation.
+        core.config = config
+    else:
+        core = SchedulerService(config)
+    daemon = SchedulerDaemon(core)
+    await daemon.serve_forever()
+
+
+class ThreadedDaemon:
+    """Runs a daemon on a private event loop thread (tests, demos).
+
+    Usage::
+
+        with ThreadedDaemon(ServiceConfig(socket_path=...)) as daemon:
+            client = ServiceClient(daemon.socket_path)
+            ...
+    """
+
+    def __init__(self, config: ServiceConfig, core: Optional[SchedulerService] = None):
+        self.config = config
+        self._core = core
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self.daemon: Optional[SchedulerDaemon] = None
+
+    @property
+    def socket_path(self) -> str:
+        """Where the daemon is listening."""
+        return self.config.socket_path
+
+    def __enter__(self) -> "ThreadedDaemon":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("daemon failed to start within 10s")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self.daemon is not None:
+            self._loop.call_soon_threadsafe(self.daemon._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        core = self._core or SchedulerService(self.config)
+        self.daemon = SchedulerDaemon(core)
+        self._loop = asyncio.get_running_loop()
+        await self.daemon.start()
+        self._started.set()
+        try:
+            await self.daemon._stop.wait()
+        finally:
+            await self.daemon.stop()

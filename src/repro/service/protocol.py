@@ -1,0 +1,194 @@
+"""Wire protocol of the scheduler daemon.
+
+Newline-delimited JSON over a local stream socket: each request and each
+response is one JSON object on one line (UTF-8, ``\\n``-terminated).  A
+request carries an ``op`` (the verb), an optional client-chosen ``id``
+echoed back in the response, and verb-specific parameters.  A response
+carries ``ok`` plus either a ``result`` object or an ``error`` string.
+
+Verbs
+-----
+``submit``   Submit one job (a :class:`JobSpec`); admission control may
+             admit, queue, or reject it.
+``status``   Status of one job (``job_id``) or of every known job.
+``cancel``   Cancel a queued or running job.
+``metrics``  Cluster/engine metrics summary.
+``drain``    Stop admitting work and run the engine until everything
+             completes.
+``step``     Advance a fixed number of scheduler rounds (keeps
+             admitting; useful for tests and paced drivers).
+``snapshot`` Force a snapshot to disk now.
+``ping``     Liveness probe.
+``shutdown`` Stop the daemon (snapshotting first when configured).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Optional
+
+#: Protocol revision; bumped on incompatible changes.
+PROTOCOL_VERSION = 1
+
+VERBS = frozenset(
+    {
+        "submit",
+        "status",
+        "cancel",
+        "metrics",
+        "drain",
+        "step",
+        "snapshot",
+        "ping",
+        "shutdown",
+    }
+)
+
+
+class ProtocolError(ValueError):
+    """Malformed request or response line."""
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """Client-side description of one job submission.
+
+    Mirrors :class:`repro.workload.trace.TraceRecord` minus arrival time
+    (the daemon stamps arrivals with its own simulation clock).
+    """
+
+    model_name: str = "alexnet"
+    gpus_requested: int = 4
+    max_iterations: int = 20
+    accuracy_requirement: float = 0.8
+    urgency: int = 5
+    training_data_mb: float = 500.0
+    job_id: Optional[str] = None
+
+    def validate(self) -> None:
+        """Raise ``ProtocolError`` on out-of-domain fields."""
+        if self.gpus_requested < 1:
+            raise ProtocolError("gpus_requested must be >= 1")
+        if self.max_iterations < 1:
+            raise ProtocolError("max_iterations must be >= 1")
+        if not 0.0 <= self.accuracy_requirement <= 1.0:
+            raise ProtocolError("accuracy_requirement out of [0, 1]")
+        if self.urgency < 0:
+            raise ProtocolError("urgency must be >= 0")
+        if self.training_data_mb <= 0:
+            raise ProtocolError("training_data_mb must be positive")
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON-safe dict form."""
+        payload = asdict(self)
+        if payload["job_id"] is None:
+            del payload["job_id"]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "JobSpec":
+        """Parse and validate a payload dict."""
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(payload) - known
+        if unknown:
+            raise ProtocolError(f"unknown job fields: {sorted(unknown)}")
+        try:
+            spec = cls(**payload)
+        except TypeError as exc:
+            raise ProtocolError(str(exc)) from None
+        spec.validate()
+        return spec
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One decoded client request."""
+
+    op: str
+    id: Optional[str] = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        """Serialize to one wire line."""
+        body = {"op": self.op, **self.params}
+        if self.id is not None:
+            body["id"] = self.id
+        return encode_line(body)
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """One daemon response."""
+
+    ok: bool
+    id: Optional[str] = None
+    result: dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    def encode(self) -> bytes:
+        """Serialize to one wire line."""
+        body: dict[str, Any] = {"ok": self.ok}
+        if self.id is not None:
+            body["id"] = self.id
+        if self.ok:
+            body["result"] = self.result
+        else:
+            body["error"] = self.error or "unknown error"
+        return encode_line(body)
+
+    @classmethod
+    def success(cls, result: dict[str, Any], id: Optional[str] = None) -> "Response":
+        """A successful response."""
+        return cls(ok=True, id=id, result=result)
+
+    @classmethod
+    def failure(cls, error: str, id: Optional[str] = None) -> "Response":
+        """A failed response."""
+        return cls(ok=False, id=id, error=error)
+
+
+def encode_line(body: dict[str, Any]) -> bytes:
+    """One JSON object, compact separators, newline-terminated."""
+    return (json.dumps(body, separators=(",", ":"), sort_keys=True) + "\n").encode()
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one wire line into a dict (raises ``ProtocolError``)."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty line")
+    try:
+        body = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(body, dict):
+        raise ProtocolError("wire messages must be JSON objects")
+    return body
+
+
+def parse_request(line: bytes | str) -> Request:
+    """Decode and validate one request line."""
+    body = decode_line(line)
+    op = body.pop("op", None)
+    if not isinstance(op, str) or op not in VERBS:
+        raise ProtocolError(f"unknown op {op!r}; valid: {sorted(VERBS)}")
+    request_id = body.pop("id", None)
+    if request_id is not None and not isinstance(request_id, str):
+        raise ProtocolError("id must be a string")
+    return Request(op=op, id=request_id, params=body)
+
+
+def parse_response(line: bytes | str) -> Response:
+    """Decode one response line."""
+    body = decode_line(line)
+    if "ok" not in body:
+        raise ProtocolError("response missing 'ok'")
+    return Response(
+        ok=bool(body["ok"]),
+        id=body.get("id"),
+        result=body.get("result") or {},
+        error=body.get("error"),
+    )

@@ -1,6 +1,6 @@
 """Discrete-event ML-cluster simulator: events, execution, network, engine."""
 
-from repro.sim.engine import EngineConfig, SimulationEngine
+from repro.sim.engine import EngineConfig, RoundResult, SimulationEngine
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.execution import ExecutionModel
 from repro.sim.interface import (
@@ -41,6 +41,7 @@ __all__ = [
     "JobStop",
     "Migration",
     "Placement",
+    "RoundResult",
     "Scheduler",
     "SchedulerDecision",
     "SchedulingContext",

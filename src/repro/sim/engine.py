@@ -13,6 +13,15 @@ placed (holding GPUs while unable to iterate).  Real clusters break such
 stalemates with admission timeouts; the engine evicts all placed tasks
 of a job that has been partially placed for ``stall_ticks`` consecutive
 rounds, returning them to the queue.
+
+Stepping API: besides the monolithic :meth:`SimulationEngine.run`, the
+engine exposes an incremental driver interface used by the online
+service layer (:mod:`repro.service`): :meth:`SimulationEngine.step`
+advances the simulation through exactly one scheduler round and returns
+a :class:`RoundResult`; :meth:`SimulationEngine.inject_job` admits a job
+mid-run (the streaming-arrival path); :meth:`SimulationEngine.cancel_job`
+terminates an active job early.  ``run()`` is now a thin loop over
+``step()`` so both drivers produce the identical schedule.
 """
 
 from __future__ import annotations
@@ -83,6 +92,33 @@ class _IterationState:
     cross_mb: float
 
 
+@dataclass(frozen=True, slots=True)
+class RoundResult:
+    """What happened during one :meth:`SimulationEngine.step` call.
+
+    A *round* is the span of simulated time up to and including the next
+    scheduler tick.  The service layer turns these into telemetry
+    records; ``ticked`` is False when the event queue ran dry (or
+    ``max_time`` was hit) before a tick could fire.
+    """
+
+    round_index: int
+    now: float
+    ticked: bool
+    events_processed: int
+    arrivals: int
+    completions: int
+    stops: int
+    placements: int
+    migrations: int
+    evictions: int
+    queue_depth: int
+    active_jobs: int
+    running_jobs: int
+    overload_degree: float
+    drained: bool
+
+
 class SimulationEngine:
     """Runs one simulation of (scheduler, jobs, cluster)."""
 
@@ -122,34 +158,156 @@ class SimulationEngine:
         self._stall_counter: dict[str, int] = {}
         self._last_duration: dict[str, float] = {}
         self._pending_arrivals = len(self.jobs)
+        self._started = False
+        self._finalized = False
+        self._max_time_reached = False
+        self._ticks_pending = 0
+        self._round_index = 0
+        self._round_counters: dict[str, int] = {}
+        self._reset_round_counters()
 
     # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
 
-    def run(self) -> SimulationMetrics:
-        """Execute the simulation to completion and return the metrics."""
+    @property
+    def is_drained(self) -> bool:
+        """No job is active and no arrival is pending."""
+        return not self.active_jobs and self._pending_arrivals == 0
+
+    @property
+    def round_index(self) -> int:
+        """Number of scheduler rounds executed so far."""
+        return self._round_index
+
+    def start(self) -> None:
+        """Seed arrival events and the first scheduler tick (idempotent)."""
+        if self._started:
+            return
+        self._started = True
         for job in self.jobs:
             self._events.push(Event(job.arrival_time, EventKind.JOB_ARRIVAL, job))
         if self.jobs:
-            first = self.jobs[0].arrival_time
-            self._events.push(Event(first, EventKind.SCHEDULE_TICK))
-        while self._events:
-            event = self._events.pop()
-            if event.time > self.config.max_time:
+            self._push_tick(self.jobs[0].arrival_time)
+
+    def run(self) -> SimulationMetrics:
+        """Execute the simulation to completion and return the metrics."""
+        self.start()
+        while True:
+            result = self.step()
+            if result.drained or result.events_processed == 0:
                 break
+        self.finalize()
+        return self.metrics
+
+    def step(self) -> RoundResult:
+        """Advance through pending events until one scheduler round ran.
+
+        Processes events in time order and returns after handling the
+        next ``SCHEDULE_TICK`` (or earlier, when the event queue runs
+        dry, ``max_time`` is exceeded, or the workload drains).  Calling
+        ``step()`` in a loop reproduces exactly the schedule ``run()``
+        produces — the service daemon relies on this equivalence for
+        deterministic snapshot/restore.
+        """
+        self.start()
+        self._reset_round_counters()
+        ticked = False
+        events_processed = 0
+        while self._events:
+            next_time = self._events.peek_time()
+            if next_time is not None and next_time > self.config.max_time:
+                self._max_time_reached = True
+                break
+            event = self._events.pop()
             self.now = max(self.now, event.time)
+            events_processed += 1
             if event.kind is EventKind.JOB_ARRIVAL:
                 self._handle_arrival(event.payload)
             elif event.kind is EventKind.SCHEDULE_TICK:
+                self._ticks_pending -= 1
                 self._handle_tick()
+                ticked = True
             elif event.kind is EventKind.ITERATION_DONE:
                 job, token = event.payload
                 self._handle_iteration_done(job, token)
-            if not self.active_jobs and self._pending_arrivals == 0:
+            if self.is_drained or ticked:
                 break
-        self._finalize_unfinished()
+        if ticked:
+            self._round_index += 1
+        counters = self._round_counters
+        return RoundResult(
+            round_index=self._round_index,
+            now=self.now,
+            ticked=ticked,
+            events_processed=events_processed,
+            arrivals=counters["arrivals"],
+            completions=counters["completions"],
+            stops=counters["stops"],
+            placements=counters["placements"],
+            migrations=counters["migrations"],
+            evictions=counters["evictions"],
+            queue_depth=len(self.queue),
+            active_jobs=len(self.active_jobs),
+            running_jobs=len(self._iteration),
+            overload_degree=self.cluster.overload_degree(),
+            drained=self.is_drained,
+        )
+
+    def finalize(self) -> SimulationMetrics:
+        """Force-complete what is still active and close the metrics."""
+        if not self._finalized:
+            self._finalized = True
+            self._finalize_unfinished()
         return self.metrics
+
+    # ------------------------------------------------------------------
+    # Streaming admission (service layer)
+    # ------------------------------------------------------------------
+
+    def inject_job(self, job: Job, arrival_time: Optional[float] = None) -> float:
+        """Admit a job mid-run; returns its effective arrival time.
+
+        The arrival is clamped to the current simulation clock (events
+        cannot fire in the past).  If the engine had drained, a new
+        scheduler tick is seeded so the job gets scheduled.
+        """
+        self.start()
+        arrival = self.now if arrival_time is None else max(arrival_time, self.now)
+        job.arrival_time = arrival
+        self.jobs.append(job)
+        self._pending_arrivals += 1
+        self._finalized = False
+        self._events.push(Event(arrival, EventKind.JOB_ARRIVAL, job))
+        self._ensure_tick(arrival)
+        return arrival
+
+    def cancel_job(self, job_id: str) -> bool:
+        """Terminate an active job early (counts as stopped_early)."""
+        job = self.active_jobs.get(job_id)
+        if job is None:
+            return False
+        self._complete_job(job, stopped_early=True)
+        return True
+
+    def _push_tick(self, time: float) -> None:
+        self._events.push(Event(time, EventKind.SCHEDULE_TICK))
+        self._ticks_pending += 1
+
+    def _ensure_tick(self, time: float) -> None:
+        """Guarantee a scheduler tick is pending at or after ``time``."""
+        if self._ticks_pending <= 0:
+            self._push_tick(max(time, self.now))
+
+    def _reset_round_counters(self) -> None:
+        self._round_counters = {
+            "arrivals": 0,
+            "completions": 0,
+            "stops": 0,
+            "placements": 0,
+            "migrations": 0,
+            "evictions": 0,
+        }
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -157,6 +315,7 @@ class SimulationEngine:
 
     def _handle_arrival(self, job: Job) -> None:
         self._pending_arrivals -= 1
+        self._round_counters["arrivals"] += 1
         self.active_jobs[job.job_id] = job
         self._wait_since[job.job_id] = self.now
         self._wait_accum[job.job_id] = 0.0
@@ -197,7 +356,7 @@ class SimulationEngine:
             upcoming = self._events.peek_time()
             if upcoming is not None:
                 next_time = max(next_time, upcoming)
-        self._events.push(Event(next_time, EventKind.SCHEDULE_TICK))
+        self._push_tick(next_time)
 
     def _handle_iteration_done(self, job: Job, token: int) -> None:
         state = self._iteration.get(job.job_id)
@@ -245,6 +404,7 @@ class SimulationEngine:
         gpu = server.gpus[gpu_id] if gpu_id is not None else None
         landed = server.place_task(task, gpu)
         task.mark_placed(self.now, server_id, landed.gpu_id)
+        self._round_counters["placements"] += 1
         self._close_wait_stint(task.job)
         self._cancel_iteration(task.job)  # placement changes contention; restart cleanly
 
@@ -256,6 +416,7 @@ class SimulationEngine:
         task.mark_queued(self.now)
         self.queue.append(task)
         self.metrics.num_evictions += 1
+        self._round_counters["evictions"] += 1
         job = task.job
         self._cancel_iteration(job)
         if not job.placed_tasks():
@@ -277,6 +438,7 @@ class SimulationEngine:
         task.gpu_id = landed.gpu_id
         task.num_migrations += 1
         self.metrics.num_migrations += 1
+        self._round_counters["migrations"] += 1
         self.metrics.migration_bandwidth_mb += migration_volume_mb(task)
         self._extend_iteration(task.job, self.config.migration_penalty_seconds)
 
@@ -339,6 +501,9 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def _complete_job(self, job: Job, stopped_early: bool) -> None:
+        self._round_counters["completions"] += 1
+        if stopped_early:
+            self._round_counters["stops"] += 1
         self._cancel_iteration(job)
         for task in job.tasks:
             if task.is_placed:

@@ -142,3 +142,65 @@ class TestShadowCluster:
         assert shadow.overload_degree(server) == pytest.approx(
             shadow.utilization(server).norm()
         )
+
+
+class TestShadowEdgeCases:
+    """Corner cases of tentative accounting within one scheduler round."""
+
+    def unplaced_task(self, seed=1):
+        job = make_job(seed=seed)
+        return next(t for t in job.tasks if not t.is_parameter_server)
+
+    def test_migrate_task_placed_earlier_this_round(self, small_cluster):
+        # A task tentatively placed this round is migrated before the
+        # decision is ever applied: the removal must charge the shadow
+        # location, not the (nonexistent) real one.
+        shadow = ShadowCluster(small_cluster)
+        task = self.unplaced_task()
+        shadow.commit_placement(task, 0, 0)
+        shadow.commit_migration(task, 1, 0)
+        src, dst = small_cluster.server(0), small_cluster.server(1)
+        assert shadow.task_location(task) == 1
+        # Source deltas net to zero; destination carries the demand.
+        assert shadow.server_load(src).gpu == pytest.approx(src.load.gpu)
+        assert shadow.gpu_load(src, 0) == pytest.approx(src.gpus[0].load)
+        assert shadow.server_load(dst).gpu == pytest.approx(
+            dst.load.gpu + task.demand.gpu
+        )
+
+    def test_evict_then_replace_same_round(self, small_cluster):
+        # Eviction and re-placement of the same task within one round:
+        # the old server sheds the load, the new one gains it.
+        job = make_job(seed=2)
+        task = next(t for t in job.tasks if not t.is_parameter_server)
+        gpu = small_cluster.server(0).place_task(task)
+        task.mark_placed(0.0, 0, gpu.gpu_id)
+        shadow = ShadowCluster(small_cluster)
+        shadow.commit_removal(task)
+        assert shadow.task_location(task) is None
+        shadow.commit_placement(task, 1, 0)
+        src, dst = small_cluster.server(0), small_cluster.server(1)
+        assert shadow.task_location(task) == 1
+        assert shadow.server_load(src).gpu == pytest.approx(
+            src.load.gpu - task.demand.gpu
+        )
+        assert shadow.server_load(dst).gpu == pytest.approx(
+            dst.load.gpu + task.demand.gpu
+        )
+
+    def test_gpu_delta_underflow_is_clamped(self, small_cluster):
+        # Removing a task whose load never landed on the real cluster
+        # (stale bookkeeping) drives the deltas negative; shadow reads
+        # must clamp at zero rather than report negative load.
+        task = self.unplaced_task(seed=3)
+        task.mark_placed(0.0, 0, 0)
+        shadow = ShadowCluster(small_cluster)
+        shadow.commit_removal(task)
+        server = small_cluster.server(0)
+        load = shadow.server_load(server)
+        assert min(load.gpu, load.cpu, load.mem, load.bw) >= 0.0
+        assert shadow.utilization(server).norm() == pytest.approx(0.0)
+        assert shadow.overload_degree(server) == pytest.approx(0.0)
+        # Capacity checks keep working on the underflowed server.
+        assert not shadow.would_overload(server, task.demand, threshold=1.0)
+        assert shadow.least_loaded_gpu(server) == 0

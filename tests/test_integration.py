@@ -69,6 +69,7 @@ class TestPaperShapes:
         assert all(v["jobs"] == 60 for v in contended.values())
 
 
+@pytest.mark.slow
 class TestAblations:
     def test_migration_reduces_overload_occurrences(self):
         from repro.core import MLFSConfig

@@ -1,5 +1,6 @@
 """Property-based tests on simulator-wide invariants."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -8,6 +9,10 @@ from repro.cluster import Cluster
 from repro.core import make_mlf_h
 from repro.sim import EngineConfig, SimulationEngine, SimulationSetup, run_simulation
 from repro.workload import build_jobs, generate_trace
+
+# Hypothesis sweeps over whole simulations: minutes of wall clock.  Run
+# in the dedicated slow CI step, not the tier-1 gate.
+pytestmark = pytest.mark.slow
 
 
 def run_workload(scheduler, num_jobs, servers, seed):

@@ -1,0 +1,113 @@
+"""Micro-benchmark: per-round JCT percentile cost in ``round_record``.
+
+The telemetry hot path used to rebuild and re-sort the full JCT list on
+every scheduler round — O(n log n) per round for n completed jobs,
+O(n² log n) over a run.  :class:`repro.service.telemetry.RunningJctStats`
+replaces that with an incrementally maintained sorted list
+(``bisect.insort`` per completion), so a round's percentile block costs
+O(percentiles · 1) lookups plus only the *new* completions' insertions.
+
+This bench times both strategies over a simulated run (one completion
+per round) and asserts the incremental path wins and stays
+value-identical.  It deliberately avoids pytest-benchmark (not a repo
+dependency): plain ``perf_counter`` loops, runnable as a script::
+
+    PYTHONPATH=src python benchmarks/bench_round_record.py
+
+or through pytest (``pytest benchmarks/bench_round_record.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from time import perf_counter
+
+from repro.analysis.cdf import percentile
+from repro.service.telemetry import JCT_PERCENTILES, RunningJctStats
+from repro.sim.metrics import JobRecord, SimulationMetrics
+
+#: Rounds simulated (one job completes per round).
+ROUNDS = 3000
+
+
+def _record(index: int, jct: float) -> JobRecord:
+    return JobRecord(
+        job_id=f"j{index}",
+        model_name="alexnet",
+        arrival_time=0.0,
+        completion_time=jct,
+        deadline=jct + 1.0,
+        jct=jct,
+        waiting_time=0.0,
+        iterations_completed=10,
+        max_iterations=10,
+        final_accuracy=0.9,
+        accuracy_at_deadline=0.9,
+        accuracy_requirement=0.8,
+        urgency=5,
+        gpus_requested=4,
+        stopped_early=False,
+        num_migrations=0,
+    )
+
+
+def _jcts(rounds: int, seed: int = 42) -> list[float]:
+    rng = random.Random(seed)
+    return [rng.expovariate(1.0 / 3600.0) for _ in range(rounds)]
+
+
+def time_full_resort(jcts: list[float]) -> tuple[float, list[float]]:
+    """The old strategy: rebuild + sort the JCT list every round."""
+    metrics = SimulationMetrics()
+    out: list[float] = []
+    start = perf_counter()
+    for index, jct in enumerate(jcts):
+        metrics.job_records.append(_record(index, jct))
+        sample = [r.jct for r in metrics.job_records]
+        for q in JCT_PERCENTILES:
+            out.append(percentile(sample, q))
+    return perf_counter() - start, out
+
+
+def time_incremental(jcts: list[float]) -> tuple[float, list[float]]:
+    """The new strategy: RunningJctStats folds in only new completions."""
+    metrics = SimulationMetrics()
+    stats = RunningJctStats()
+    out: list[float] = []
+    start = perf_counter()
+    for index, jct in enumerate(jcts):
+        metrics.job_records.append(_record(index, jct))
+        stats.sync(metrics)
+        for q in JCT_PERCENTILES:
+            out.append(stats.percentile(q))
+    return perf_counter() - start, out
+
+
+def test_incremental_is_faster_and_identical() -> None:
+    """The incremental path must beat the resort path, bit-identically."""
+    jcts = _jcts(ROUNDS)
+    resort_s, resort_values = time_full_resort(jcts)
+    incr_s, incr_values = time_incremental(jcts)
+    assert incr_values == resort_values, "percentile values diverged"
+    # The asymptotic gap is huge; 2x is a conservative floor that stays
+    # robust under CI noise.
+    assert incr_s * 2.0 < resort_s, (
+        f"incremental path not faster: {incr_s:.4f}s vs {resort_s:.4f}s"
+    )
+
+
+def main() -> None:
+    jcts = _jcts(ROUNDS)
+    resort_s, resort_values = time_full_resort(jcts)
+    incr_s, incr_values = time_incremental(jcts)
+    assert incr_values == resort_values
+    per_round_old = resort_s / ROUNDS * 1e6
+    per_round_new = incr_s / ROUNDS * 1e6
+    print(f"rounds                     {ROUNDS}")
+    print(f"full re-sort per round     {per_round_old:10.2f} us")
+    print(f"incremental per round      {per_round_new:10.2f} us")
+    print(f"speedup                    {resort_s / incr_s:10.1f} x")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,50 +2,78 @@
 """Online service demo: stream jobs through the scheduler daemon.
 
 Starts the daemon in-process (its own event-loop thread), connects the
-client library over a Unix socket, streams 50 jobs with Poisson
-inter-arrivals, drains, and prints the telemetry summary — the full
+client library over a Unix socket, streams jobs with Poisson
+inter-arrivals, drains, and renders the telemetry report — the full
 ``repro serve`` / ``repro submit`` workflow without leaving one process.
 
-Run:  python examples/online_service_demo.py
+The daemon runs the full MLFS scheduler seeded with a scoring policy, so
+every scheduler phase (priority, placement, migration, load control, RL
+inference) exercises; pass ``--trace`` to capture them as a Chrome-trace
+JSON loadable in Perfetto / ``chrome://tracing``.
+
+Run:  python examples/online_service_demo.py [--jobs N] [--trace out.json]
 """
 
+import argparse
 import random
 import tempfile
 from pathlib import Path
 
-from repro.analysis.telemetry import summary_table, telemetry_table
+from repro.analysis.telemetry import render_telemetry_report
+from repro.core.mlfs import make_mlfs
+from repro.core.state import FEATURE_SIZE
+from repro.rl.policy import ScoringPolicy
 from repro.service import JobSpec, ServiceClient, ServiceConfig
-from repro.service.daemon import ThreadedDaemon
-from repro.service.telemetry import read_telemetry, summarize_telemetry
+from repro.service.daemon import SchedulerService, ThreadedDaemon
 
-NUM_JOBS = 50
 MODELS = ["alexnet", "resnet", "lstm", "svm", "mlp"]
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=50, help="jobs to stream")
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument(
+        "--trace", default=None, help="write a Chrome-trace JSON of scheduler spans"
+    )
+    parser.add_argument(
+        "--workdir", default=None, help="artifact directory (default: a tempdir)"
+    )
+    return parser.parse_args()
+
+
 def main() -> None:
-    rng = random.Random(2020)
-    workdir = Path(tempfile.mkdtemp(prefix="repro-service-demo-"))
+    args = parse_args()
+    rng = random.Random(args.seed)
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="repro-service-demo-"))
+    workdir.mkdir(parents=True, exist_ok=True)
     config = ServiceConfig(
         socket_path=str(workdir / "repro.sock"),
         telemetry_path=str(workdir / "telemetry.jsonl"),
         snapshot_dir=str(workdir / "snapshots"),
         snapshot_every=25,
         servers=8,
-        scheduler="MLF-H",
+        scheduler="MLFS",
+        trace_path=args.trace,
         # Rounds advance only during drain, so the demo is deterministic
         # and fast; a real deployment would set round_interval=60.
         round_interval=0,
     )
+    # A seeded scoring policy starts MLFS directly in the RL phase, so
+    # the demo exercises (and traces) every scheduler phase without a
+    # long imitation-training warmup.
+    scheduler = make_mlfs(policy=ScoringPolicy(feature_size=FEATURE_SIZE, seed=7))
+    core = SchedulerService(config, scheduler=scheduler)
 
-    with ThreadedDaemon(config) as daemon:
+    with ThreadedDaemon(config, core=core) as daemon:
         with ServiceClient(daemon.socket_path) as client:
-            # Stream 50 jobs with Poisson arrivals.  The daemon stamps
-            # each submission with its simulation clock; spacing the
-            # submissions over drain batches emulates the arrival
+            # Stream jobs with Poisson arrivals.  The daemon stamps each
+            # submission with its simulation clock; spacing the
+            # submissions over step batches emulates the arrival
             # process (mean inter-arrival: 2 scheduler rounds).
-            outcomes = {"admitted": 0, "queued": 0, "rejected": 0}
-            pending = 0
-            for index in range(NUM_JOBS):
+            outcomes: dict[str, int] = {}
+            first_job_id = None
+            for _ in range(args.jobs):
                 spec = JobSpec(
                     model_name=rng.choice(MODELS),
                     gpus_requested=rng.choice([1, 2, 4, 8]),
@@ -55,13 +83,12 @@ def main() -> None:
                 )
                 out = client.submit(spec)
                 outcomes[out["status"]] = outcomes.get(out["status"], 0) + 1
-                pending += 1
-                # Poisson arrivals: advance the clock a random number of
-                # rounds between submissions.
+                if first_job_id is None:
+                    first_job_id = out["job_id"]
                 gap = min(8, max(0, int(rng.expovariate(0.5))))
                 if gap:
                     client.step(rounds=gap)
-            print(f"submitted {NUM_JOBS} jobs: {outcomes}")
+            print(f"submitted {args.jobs} jobs: {outcomes}")
 
             # Drain: run the engine until every admitted job completes.
             result = client.drain()
@@ -71,12 +98,22 @@ def main() -> None:
                 f"completed {int(result['summary']['jobs'])} jobs"
             )
 
-    records = read_telemetry(config.telemetry_path)
-    print("\nPer-round telemetry (subsampled):")
-    print(telemetry_table(records, every=max(1, len(records) // 12)))
-    print("\nTelemetry summary:")
-    print(summary_table(summarize_telemetry(records)))
-    print(f"\nArtifacts under {workdir}")
+            # The observability verbs: Prometheus metrics + a timeline.
+            prom = client.metrics_text()
+            families = [
+                line.split()[2] for line in prom.splitlines() if line.startswith("# TYPE")
+            ]
+            print(f"\nmetrics_text: {len(families)} metric families")
+            if first_job_id is not None:
+                history = client.history(first_job_id)
+                print(f"history of {first_job_id}:")
+                for event in history["events"]:
+                    print(f"  {event['time']:>10.1f}s  {event['event']}")
+
+    print("\n" + render_telemetry_report(config.telemetry_path, every=12))
+    if args.trace:
+        print(f"\nChrome trace written to {args.trace} (load in Perfetto)")
+    print(f"Artifacts under {workdir}")
 
 
 if __name__ == "__main__":

@@ -5,7 +5,13 @@ from repro.analysis.report import (
     improvement_over,
     render_report,
 )
-from repro.analysis.cdf import cdf_at, empirical_cdf, log_spaced_points, percentile
+from repro.analysis.cdf import (
+    cdf_at,
+    empirical_cdf,
+    log_spaced_points,
+    percentile,
+    percentile_sorted,
+)
 from repro.analysis.tables import (
     FigureSeries,
     format_table,
@@ -14,6 +20,7 @@ from repro.analysis.tables import (
 )
 from repro.analysis.telemetry import (
     load_telemetry,
+    render_telemetry_report,
     summary_table,
     telemetry_rows,
     telemetry_table,
@@ -31,6 +38,8 @@ __all__ = [
     "load_telemetry",
     "log_spaced_points",
     "percentile",
+    "percentile_sorted",
+    "render_telemetry_report",
     "summary_rows",
     "summary_table",
     "telemetry_rows",

@@ -30,9 +30,19 @@ def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolated percentile, ``q`` in [0, 100]."""
     if not values:
         raise ValueError("percentile of empty sequence")
+    return percentile_sorted(sorted(values), q)
+
+
+def percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """:func:`percentile` over an already-sorted sequence (no re-sort).
+
+    Callers that maintain a running sorted sample (e.g. the telemetry
+    hot path) use this to skip the O(n log n) sort per query.
+    """
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be in [0, 100], got {q}")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100.0) * (len(ordered) - 1)

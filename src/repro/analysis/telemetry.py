@@ -72,3 +72,29 @@ def load_telemetry(path: str | Path) -> list[dict[str, Any]]:
     from repro.service.telemetry import read_telemetry
 
     return read_telemetry(path)
+
+
+def render_telemetry_report(
+    path: str | Path,
+    every: int = 1,
+    rounds: bool = True,
+    precision: int = 2,
+) -> str:
+    """One self-contained report for a telemetry JSONL file.
+
+    A summary table (JCT percentiles, deadline ratio, migration/eviction
+    rates, peak overload) optionally preceded by the per-round table —
+    the rendering behind ``repro report``.
+    """
+    from repro.service.telemetry import summarize_telemetry
+
+    records = load_telemetry(path)
+    if not records:
+        return f"no telemetry records in {path}"
+    sections: list[str] = []
+    if rounds:
+        sections.append(f"## Rounds ({len(records)} records)")
+        sections.append(telemetry_table(records, every=every, precision=precision))
+    sections.append("## Summary")
+    sections.append(summary_table(summarize_telemetry(records), precision=precision))
+    return "\n\n".join(sections)

@@ -9,6 +9,7 @@ Commands
 ``serve``    Run the online scheduler daemon on a local socket.
 ``submit``   Submit one job to a running daemon.
 ``ctl``      Control a running daemon (status/metrics/drain/cancel/...).
+``report``   Render a telemetry JSONL file as summary tables.
 
 Examples
 --------
@@ -18,9 +19,12 @@ Examples
     python -m repro run --trace trace.csv --scheduler MLFS --servers 8
     python -m repro compare --trace trace.csv --servers 8 \
         --schedulers MLFS,Tiresias,Graphene --out report.md
-    python -m repro serve --socket /tmp/repro.sock --servers 8
+    python -m repro serve --socket /tmp/repro.sock --servers 8 \
+        --telemetry telemetry.jsonl --trace trace.chrome.json
     python -m repro submit --socket /tmp/repro.sock --model resnet --gpus 4
-    python -m repro ctl --socket /tmp/repro.sock metrics
+    python -m repro ctl --socket /tmp/repro.sock metrics --format prom
+    python -m repro ctl --socket /tmp/repro.sock history job-0001
+    python -m repro report telemetry.jsonl
 """
 
 from __future__ import annotations
@@ -91,6 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--snapshot-every", type=int, default=10, help="rounds")
     p_serve.add_argument("--telemetry", default=None, help="telemetry JSONL path")
     p_serve.add_argument(
+        "--trace",
+        default=None,
+        help="write a Chrome-trace JSON of scheduler-phase spans here on shutdown",
+    )
+    p_serve.add_argument(
+        "--rl-switch-decisions",
+        type=int,
+        default=None,
+        help="override the MLF family's heuristic-to-RL switch threshold",
+    )
+    p_serve.add_argument(
         "--restore",
         action="store_true",
         help="resume from the newest snapshot in --snapshot-dir",
@@ -113,10 +128,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_ctl = sub.add_parser("ctl", help="control a running daemon")
     p_ctl.add_argument("--socket", default="repro-service.sock")
     p_ctl.add_argument(
-        "verb",
-        choices=["status", "metrics", "drain", "cancel", "snapshot", "ping", "shutdown"],
+        "--format",
+        choices=["json", "prom"],
+        default="json",
+        help="metrics output format (prom = Prometheus text exposition)",
     )
-    p_ctl.add_argument("job_id", nargs="?", default=None, help="for status/cancel")
+    p_ctl.add_argument(
+        "verb",
+        choices=[
+            "status",
+            "metrics",
+            "history",
+            "drain",
+            "cancel",
+            "snapshot",
+            "ping",
+            "shutdown",
+        ],
+    )
+    p_ctl.add_argument(
+        "job_id", nargs="?", default=None, help="for status/cancel/history"
+    )
+
+    p_report = sub.add_parser(
+        "report", help="render a telemetry JSONL file as summary tables"
+    )
+    p_report.add_argument("telemetry", help="telemetry JSONL path")
+    p_report.add_argument(
+        "--every", type=int, default=1, help="keep one per-round row in EVERY"
+    )
+    p_report.add_argument(
+        "--no-rounds", action="store_true", help="only print the summary table"
+    )
     return parser
 
 
@@ -183,6 +226,8 @@ def cmd_serve(args) -> int:
         snapshot_dir=args.snapshot_dir,
         snapshot_every=args.snapshot_every,
         telemetry_path=args.telemetry,
+        trace_path=args.trace,
+        rl_switch_decisions=args.rl_switch_decisions,
     )
     print(f"repro daemon listening on {args.socket} (scheduler={args.scheduler})")
     try:
@@ -242,7 +287,14 @@ def cmd_ctl(args) -> int:
         if args.verb == "status":
             out = client.status(args.job_id)
         elif args.verb == "metrics":
+            if args.format == "prom":
+                print(client.metrics_text(), end="")
+                return 0
             out = client.metrics()
+        elif args.verb == "history":
+            if not args.job_id:
+                raise SystemExit("ctl history requires a job_id")
+            out = client.history(args.job_id)
         elif args.verb == "drain":
             out = client.drain()
         elif args.verb == "cancel":
@@ -260,6 +312,22 @@ def cmd_ctl(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    """Render a telemetry JSONL file as per-round and summary tables."""
+    from repro.analysis.telemetry import render_telemetry_report
+
+    try:
+        print(
+            render_telemetry_report(
+                args.telemetry, every=args.every, rounds=not args.no_rounds
+            )
+        )
+    except FileNotFoundError:
+        print(f"error: no telemetry file at {args.telemetry}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -270,6 +338,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": cmd_serve,
         "submit": cmd_submit,
         "ctl": cmd_ctl,
+        "report": cmd_report,
     }
     return handlers[args.command](args)
 

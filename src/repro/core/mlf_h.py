@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.core.config import MLFSConfig
 from repro.core.overload import MigrationSelector
+from repro.obs.observer import publish_priorities as _publish_priorities
+from repro.obs.observer import span as _span
 from repro.core.placement import PlacementEngine, TaskCommIndex
 from repro.core.priority import PriorityCalculator
 from repro.core.state import StateFeaturizer
@@ -147,55 +149,62 @@ class MLFHScheduler(Scheduler):
 
     def on_schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
         decision = SchedulerDecision()
-        priorities = self.calculator.priorities(ctx.active_jobs, ctx.now)
+        with _span("priority", jobs=len(ctx.active_jobs)):
+            priorities = self.calculator.priorities(ctx.active_jobs, ctx.now)
+            _publish_priorities(priorities)
         shadow = ShadowCluster(ctx.cluster)
-
-        migration_candidates: list[Task] = []
-        if self.config.enable_migration:
-            for server in ctx.cluster.overloaded_servers(self.config.overload_threshold):
-                migration_candidates.extend(
-                    self.migration.select(server, shadow, priorities)
-                )
-
         boost = completion_boosts(ctx.active_jobs)
 
         def score(task: Task) -> float:
             return priorities.get(task.task_id, 0.0) * boost.get(task.job_id, 1.0)
 
         # Migration candidates move (or are evicted) individually.
-        for task in order_pool(migration_candidates, {t.task_id: score(t) for t in migration_candidates}):
-            choice = self._select_and_record(task, shadow, ctx)
-            if choice is None:
-                decision.evictions.append(Eviction(task))
-                continue
-            server_id, gpu_id = choice
-            # The selector already committed the removal; record the
-            # destination side of the move.
-            shadow.commit_placement(task, server_id, gpu_id)
-            decision.migrations.append(Migration(task, server_id, gpu_id))
-            self.decisions_made += 1
+        with _span("migration"):
+            migration_candidates: list[Task] = []
+            if self.config.enable_migration:
+                for server in ctx.cluster.overloaded_servers(
+                    self.config.overload_threshold
+                ):
+                    migration_candidates.extend(
+                        self.migration.select(server, shadow, priorities)
+                    )
+            for task in order_pool(
+                migration_candidates,
+                {t.task_id: score(t) for t in migration_candidates},
+            ):
+                choice = self._select_and_record(task, shadow, ctx)
+                if choice is None:
+                    decision.evictions.append(Eviction(task))
+                    continue
+                server_id, gpu_id = choice
+                # The selector already committed the removal; record the
+                # destination side of the move.
+                shadow.commit_placement(task, server_id, gpu_id)
+                decision.migrations.append(Migration(task, server_id, gpu_id))
+                self.decisions_made += 1
 
         # Queued tasks are admitted per job, all-or-nothing: a job only
         # iterates once fully placed, so partially seeding it would hold
         # resources without progress.
-        queue_scores = {t.task_id: score(t) for t in ctx.queue}
-        ordered = order_pool(list(ctx.queue), queue_scores)
-        for group in _job_groups(ordered):
-            snapshot = shadow.snapshot()
-            placements = []
-            for task in group:
-                choice = self._select_and_record(task, shadow, ctx)
-                if choice is None:
-                    placements = None
-                    break
-                server_id, gpu_id = choice
-                shadow.commit_placement(task, server_id, gpu_id)
-                placements.append(Placement(task, server_id, gpu_id))
-            if placements is None:
-                shadow.restore(snapshot)
-            else:
-                decision.placements.extend(placements)
-                self.decisions_made += len(placements)
+        with _span("placement", queued=len(ctx.queue)):
+            queue_scores = {t.task_id: score(t) for t in ctx.queue}
+            ordered = order_pool(list(ctx.queue), queue_scores)
+            for group in _job_groups(ordered):
+                snapshot = shadow.snapshot()
+                placements = []
+                for task in group:
+                    choice = self._select_and_record(task, shadow, ctx)
+                    if choice is None:
+                        placements = None
+                        break
+                    server_id, gpu_id = choice
+                    shadow.commit_placement(task, server_id, gpu_id)
+                    placements.append(Placement(task, server_id, gpu_id))
+                if placements is None:
+                    shadow.restore(snapshot)
+                else:
+                    decision.placements.extend(placements)
+                    self.decisions_made += len(placements)
         return decision
 
     def on_job_complete(self, job: Job, now: float) -> None:

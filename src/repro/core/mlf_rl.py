@@ -27,6 +27,8 @@ from repro.core.overload import MigrationSelector
 from repro.core.placement import PlacementEngine, TaskCommIndex
 from repro.core.priority import PriorityCalculator
 from repro.core.state import FEATURE_SIZE, StateFeaturizer
+from repro.obs.observer import publish_priorities as _publish_priorities
+from repro.obs.observer import span as _span
 from repro.rl.policy import ScoringPolicy
 from repro.rl.replay import Decision, Trajectory
 from repro.sim.interface import (
@@ -96,15 +98,10 @@ class MLFRLScheduler(Scheduler):
     def on_schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
         decision = SchedulerDecision()
         self._finish_cache.clear()
-        priorities = self.calculator.priorities(ctx.active_jobs, ctx.now)
+        with _span("priority", jobs=len(ctx.active_jobs)):
+            priorities = self.calculator.priorities(ctx.active_jobs, ctx.now)
+            _publish_priorities(priorities)
         shadow = ShadowCluster(ctx.cluster)
-
-        migration_candidates: list[Task] = []
-        if self.config.enable_migration:
-            for server in ctx.cluster.overloaded_servers(self.config.overload_threshold):
-                migration_candidates.extend(
-                    self.migration.select(server, shadow, priorities)
-                )
         boost = completion_boosts(ctx.active_jobs)
 
         def score(task: Task) -> float:
@@ -112,37 +109,47 @@ class MLFRLScheduler(Scheduler):
                 task.job_id, 1.0
             )
 
-        for task in order_pool(
-            migration_candidates,
-            {t.task_id: score(t) for t in migration_candidates},
-        ):
-            choice = self._choose_host(task, shadow, ctx)
-            if choice is None:
-                decision.evictions.append(Eviction(task))
-                continue
-            server_id, gpu_id = choice
-            # The selector already committed the removal; record the
-            # destination side of the move.
-            shadow.commit_placement(task, server_id, gpu_id)
-            decision.migrations.append(Migration(task, server_id, gpu_id))
-
-        queue_scores = {t.task_id: score(t) for t in ctx.queue}
-        ordered = order_pool(list(ctx.queue), queue_scores)
-        for group in _job_groups(ordered):
-            snapshot = shadow.snapshot()
-            placements = []
-            for task in group:
+        with _span("migration"):
+            migration_candidates: list[Task] = []
+            if self.config.enable_migration:
+                for server in ctx.cluster.overloaded_servers(
+                    self.config.overload_threshold
+                ):
+                    migration_candidates.extend(
+                        self.migration.select(server, shadow, priorities)
+                    )
+            for task in order_pool(
+                migration_candidates,
+                {t.task_id: score(t) for t in migration_candidates},
+            ):
                 choice = self._choose_host(task, shadow, ctx)
                 if choice is None:
-                    placements = None
-                    break
+                    decision.evictions.append(Eviction(task))
+                    continue
                 server_id, gpu_id = choice
+                # The selector already committed the removal; record the
+                # destination side of the move.
                 shadow.commit_placement(task, server_id, gpu_id)
-                placements.append(Placement(task, server_id, gpu_id))
-            if placements is None:
-                shadow.restore(snapshot)
-            else:
-                decision.placements.extend(placements)
+                decision.migrations.append(Migration(task, server_id, gpu_id))
+
+        with _span("placement", queued=len(ctx.queue)):
+            queue_scores = {t.task_id: score(t) for t in ctx.queue}
+            ordered = order_pool(list(ctx.queue), queue_scores)
+            for group in _job_groups(ordered):
+                snapshot = shadow.snapshot()
+                placements = []
+                for task in group:
+                    choice = self._choose_host(task, shadow, ctx)
+                    if choice is None:
+                        placements = None
+                        break
+                    server_id, gpu_id = choice
+                    shadow.commit_placement(task, server_id, gpu_id)
+                    placements.append(Placement(task, server_id, gpu_id))
+                if placements is None:
+                    shadow.restore(snapshot)
+                else:
+                    decision.placements.extend(placements)
         return decision
 
     def on_job_complete(self, job: Job, now: float) -> None:
@@ -180,15 +187,19 @@ class MLFRLScheduler(Scheduler):
         if not candidates:
             return None
         if self.policy is None or len(candidates) == 1:
-            choice = self.placement.select_host(task, shadow)
+            with _span("rl_inference", mode="fallback", candidates=len(candidates)):
+                choice = self.placement.select_host(task, shadow)
             if choice is None:
                 return None
             return choice.server_id, choice.gpu_id
 
-        features = self.featurizer.candidate_matrix(task, candidates, shadow, ctx.now)
-        picked = self.policy.choose(features, greedy=not self.explore)
-        server = candidates[picked.index]
-        gpu_id = shadow.least_loaded_gpu(server)
+        with _span("rl_inference", mode="policy", candidates=len(candidates)):
+            features = self.featurizer.candidate_matrix(
+                task, candidates, shadow, ctx.now
+            )
+            picked = self.policy.choose(features, greedy=not self.explore)
+            server = candidates[picked.index]
+            gpu_id = shadow.least_loaded_gpu(server)
         if self.explore:
             self.trajectory.add_step(
                 Decision(

@@ -25,6 +25,7 @@ from repro.core.mlf_c import MLFCController
 from repro.core.mlf_h import BufferRecorder, MLFHScheduler
 from repro.core.mlf_rl import MLFRLScheduler
 from repro.core.state import FEATURE_SIZE
+from repro.obs.observer import span as _span
 from repro.rl.policy import ScoringPolicy
 from repro.rl.reinforce import ImitationTrainer
 from repro.rl.replay import ImitationBuffer
@@ -84,7 +85,8 @@ class MLFSScheduler(Scheduler):
     # -- Scheduler API ------------------------------------------------------
 
     def on_schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
-        stops = self.load_control.apply(ctx)
+        with _span("load_control", active_jobs=len(ctx.active_jobs)):
+            stops = self.load_control.apply(ctx)
         stopped_jobs = {stop.job.job_id for stop in stops}
         if stopped_jobs:
             ctx = SchedulingContext(

@@ -1,0 +1,70 @@
+"""Unified observability layer: metrics, tracing, per-job timelines.
+
+Three backends behind one facade (:class:`Observer`):
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  fixed-bucket histograms, rendered in the Prometheus text exposition
+  format (the daemon's ``metrics_text`` verb / ``repro ctl metrics
+  --format prom``);
+* :mod:`repro.obs.tracing` — nestable perf_counter spans around the
+  scheduler phases, exported as Chrome-trace-format JSON
+  (``chrome://tracing`` / Perfetto) via ``repro serve --trace`` or
+  ``SimulationEngine(trace=...)``;
+* :mod:`repro.obs.timeline` — per-job event timelines
+  (submitted → queued → placed → migrated → stopped/completed) behind
+  the ``history`` verb.
+
+Instrumentation is injectable — pass an :class:`Observer` into
+:class:`~repro.sim.engine.SimulationEngine` or
+:class:`~repro.service.daemon.SchedulerService` — with
+:data:`NULL_OBSERVER` as the zero-cost default.  Schedulers report
+phases through the module-level :func:`span` / :func:`publish_priorities`
+helpers, which route to whatever observer the engine activated for the
+current round, so every policy (the MLF family and all baselines) is
+observed without carrying a reference around.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+    SIM_DURATION_BUCKETS,
+)
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    current_observer,
+    publish_priorities,
+    set_current_observer,
+    span,
+)
+from repro.obs.timeline import JOB_EVENTS, TimelineEvent, TimelineRecorder
+from repro.obs.tracing import NullTracer, SCHEDULER_PHASES, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JOB_EVENTS",
+    "LATENCY_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "NullTracer",
+    "Observer",
+    "SCHEDULER_PHASES",
+    "SIM_DURATION_BUCKETS",
+    "SpanRecord",
+    "TimelineEvent",
+    "TimelineRecorder",
+    "Tracer",
+    "current_observer",
+    "publish_priorities",
+    "set_current_observer",
+    "span",
+]

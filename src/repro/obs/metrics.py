@@ -1,0 +1,339 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds named *metric families*; a family owns
+one child metric per label combination (Prometheus' data model, scaled
+down).  The registry renders the standard text exposition format
+(``# HELP`` / ``# TYPE`` / sample lines) so a daemon can answer a
+``metrics_text`` request that Prometheus — or a human with ``curl`` —
+can read, and produces flat scalar snapshots for the JSONL telemetry
+stream.
+
+Everything here is plain Python data: registries pickle (daemon
+snapshots carry them), and updates are O(1) dict operations so the
+simulation hot path can afford them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "SIM_DURATION_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+]
+
+#: Wall-clock latency buckets (seconds): 100 µs .. 2.5 s.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+#: Simulated-duration buckets (seconds): 1 min .. 32 h.
+SIM_DURATION_BUCKETS: tuple[float, ...] = (
+    60.0,
+    300.0,
+    900.0,
+    1800.0,
+    3600.0,
+    7200.0,
+    14400.0,
+    28800.0,
+    57600.0,
+    115200.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def __getstate__(self) -> float:
+        return self.value
+
+    def __setstate__(self, state: float) -> None:
+        self.value = state
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current value."""
+        self.value += amount
+
+    def __getstate__(self) -> float:
+        return self.value
+
+    def __setstate__(self, state: float) -> None:
+        self.value = state
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative on render, like Prometheus).
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``
+    non-cumulatively; the implicit ``+Inf`` bucket is ``count``.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = LATENCY_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bucket_counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_left(self.buckets, value)
+        if index < len(self.bucket_counts):
+            self.bucket_counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts per bucket, cumulative (the exposition-format shape)."""
+        total = 0
+        out = []
+        for n in self.bucket_counts:
+            total += n
+            out.append(total)
+        return out
+
+    def __getstate__(self) -> dict:
+        return {
+            "buckets": self.buckets,
+            "bucket_counts": self.bucket_counts,
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.buckets = state["buckets"]
+        self.bucket_counts = state["bucket_counts"]
+        self.sum = state["sum"]
+        self.count = state["count"]
+
+
+_KIND_FACTORIES = {
+    "counter": lambda buckets: Counter(),
+    "gauge": lambda buckets: Gauge(),
+    "histogram": lambda buckets: Histogram(buckets or LATENCY_BUCKETS),
+}
+
+
+@dataclass
+class MetricFamily:
+    """One named metric with zero or more labelled children."""
+
+    name: str
+    kind: str
+    help: str = ""
+    label_names: tuple[str, ...] = ()
+    buckets: Optional[tuple[float, ...]] = None
+    children: dict[tuple[str, ...], object] = field(default_factory=dict)
+
+    def labels(self, *values: object):
+        """The child metric for one label-value combination."""
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, got {values}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self.children.get(key)
+        if child is None:
+            child = _KIND_FACTORIES[self.kind](self.buckets)
+            self.children[key] = child
+        return child
+
+    # Unlabelled families proxy straight to their single child so call
+    # sites read ``registry.counter("x").inc()``.
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled child."""
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        """Set the unlabelled child (gauges)."""
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        """Observe into the unlabelled child (histograms)."""
+        self.labels().observe(value)
+
+    def samples(self) -> Iterable[tuple[str, float]]:
+        """(label-suffix, value) scalar samples; histograms expand."""
+        for key in sorted(self.children):
+            child = self.children[key]
+            suffix = _label_suffix(self.label_names, key)
+            if isinstance(child, Histogram):
+                yield f"_count{suffix}", float(child.count)
+                yield f"_sum{suffix}", child.sum
+            else:
+                yield suffix, child.value
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- family accessors --------------------------------------------------
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._family(name, "counter", help, tuple(labels), None)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._family(name, "gauge", help, tuple(labels), None)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        """Register (or fetch) a histogram family."""
+        return self._family(name, "histogram", help, tuple(labels), tuple(buckets))
+
+    def families(self) -> list[MetricFamily]:
+        """Every registered family, in registration order."""
+        return list(self._families.values())
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """Look up a family by name (``None`` when absent)."""
+        return self._families.get(name)
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: tuple[str, ...],
+        buckets: Optional[tuple[float, ...]],
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(
+                name=name, kind=kind, help=help, label_names=label_names, buckets=buckets
+            )
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, requested as {kind}"
+            )
+        return family
+
+    # -- export ------------------------------------------------------------
+
+    def render_text(self) -> str:
+        """The Prometheus text exposition format."""
+        lines: list[str] = []
+        for family in self._families.values():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key in sorted(family.children):
+                child = family.children[key]
+                if isinstance(child, Histogram):
+                    lines.extend(_histogram_lines(family, key, child))
+                else:
+                    suffix = _label_suffix(family.label_names, key)
+                    lines.append(f"{family.name}{suffix} {_fmt(child.value)}")
+        return "\n".join(lines) + "\n"
+
+    def scalar_snapshot(self) -> dict[str, float]:
+        """Flat name → value dict (histograms as ``_sum``/``_count``).
+
+        Embedded into the per-round JSONL telemetry so a metrics
+        time-series can be reconstructed offline from the log alone.
+        """
+        out: dict[str, float] = {}
+        for family in self._families.values():
+            for suffix, value in family.samples():
+                out[family.name + suffix] = value
+        return out
+
+    def __getstate__(self) -> dict:
+        return {"_families": self._families}
+
+    def __setstate__(self, state: dict) -> None:
+        self._families = state["_families"]
+
+
+def _label_suffix(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(f'{n}="{v}"' for n, v in zip(names, values))
+    return "{" + pairs + "}"
+
+
+def _histogram_lines(
+    family: MetricFamily, key: tuple[str, ...], hist: Histogram
+) -> list[str]:
+    lines = []
+    cumulative = hist.cumulative_counts()
+    for bound, count in zip(hist.buckets, cumulative):
+        suffix = _label_suffix(
+            family.label_names + ("le",), key + (_fmt(bound),)
+        )
+        lines.append(f"{family.name}_bucket{suffix} {count}")
+    inf_suffix = _label_suffix(family.label_names + ("le",), key + ("+Inf",))
+    lines.append(f"{family.name}_bucket{inf_suffix} {hist.count}")
+    plain = _label_suffix(family.label_names, key)
+    lines.append(f"{family.name}_sum{plain} {_fmt(hist.sum)}")
+    lines.append(f"{family.name}_count{plain} {hist.count}")
+    return lines
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

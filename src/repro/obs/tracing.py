@@ -1,0 +1,166 @@
+"""Scheduler-phase tracing with Chrome-trace-format export.
+
+A :class:`Tracer` records *spans* — named, nestable intervals measured
+on the ``time.perf_counter`` clock — and serializes them as Chrome trace
+events (the ``chrome://tracing`` / Perfetto JSON format: complete ``X``
+events with ``name``/``ph``/``ts``/``dur`` in microseconds).  The
+scheduler round and its phases (:data:`SCHEDULER_PHASES`) are the spans
+of interest; anything may open one.
+
+:class:`NullTracer` is the disabled twin: ``enabled`` is False and it
+never stores an event, so instrumented code costs one predicate per
+span when tracing is off.  Span *timing* lives in
+:mod:`repro.obs.observer`, which feeds both the tracer and the metrics
+registry from a single ``perf_counter`` pair.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = [
+    "SCHEDULER_PHASES",
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+]
+
+#: The five scheduler-phase span names (plus the enclosing "round").
+SCHEDULER_PHASES: tuple[str, ...] = (
+    "priority",
+    "placement",
+    "migration",
+    "load_control",
+    "rl_inference",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One closed span."""
+
+    name: str
+    start_us: float
+    dur_us: float
+    depth: int
+    args: Optional[dict[str, Any]] = None
+
+
+class Tracer:
+    """Collects spans for one run; exports Chrome trace JSON.
+
+    Parameters
+    ----------
+    max_events:
+        Ring guard for long-running daemons: once this many spans are
+        stored, further spans are counted in :attr:`dropped` instead of
+        kept, so the daemon's memory stays bounded.
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = 500_000) -> None:
+        self.max_events = max_events
+        self.events: list[SpanRecord] = []
+        self.dropped = 0
+        self._depth = 0
+
+    # -- recording (driven by Observer spans) ------------------------------
+
+    def push(self) -> int:
+        """Open a nesting level; returns the depth of the new span."""
+        self._depth += 1
+        return self._depth - 1
+
+    def pop(
+        self,
+        name: str,
+        start_s: float,
+        dur_s: float,
+        depth: int,
+        args: Optional[dict[str, Any]] = None,
+    ) -> None:
+        """Close the innermost span and store its record."""
+        self._depth = depth
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            SpanRecord(
+                name=name,
+                start_us=start_s * 1e6,
+                dur_us=dur_s * 1e6,
+                depth=depth,
+                args=args,
+            )
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def chrome_events(self) -> list[dict[str, Any]]:
+        """The spans as Chrome-trace complete (``ph: X``) events."""
+        out = []
+        for record in self.events:
+            event: dict[str, Any] = {
+                "name": record.name,
+                "ph": "X",
+                "cat": "scheduler",
+                "ts": round(record.start_us, 3),
+                "dur": round(record.dur_us, 3),
+                "pid": 1,
+                "tid": 1,
+            }
+            if record.args:
+                event["args"] = record.args
+            out.append(event)
+        return out
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The full Chrome trace document (Perfetto-loadable)."""
+        return {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_spans": self.dropped},
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Serialize the trace document to ``path``; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome_trace()), encoding="utf-8")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTracer:
+    """The disabled tracer: records nothing, costs nothing."""
+
+    enabled = False
+    events: tuple = ()
+    dropped = 0
+
+    def push(self) -> int:
+        return 0
+
+    def pop(self, name, start_s, dur_s, depth, args=None) -> None:
+        pass
+
+    def chrome_events(self) -> list:
+        return []
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome_trace()), encoding="utf-8")
+        return path
+
+    def __len__(self) -> int:
+        return 0

@@ -38,10 +38,29 @@ SCHEDULER_FACTORIES: dict[str, Callable[[], Scheduler]] = {
 }
 
 
-def scheduler_by_name(name: str) -> Scheduler:
-    """Instantiate a scheduler by its display name."""
-    try:
-        return SCHEDULER_FACTORIES[name]()
-    except KeyError:
+#: Members of the MLF family that take an :class:`MLFSConfig`.
+_MLF_FAMILY = frozenset({"MLFS", "MLF-RL", "MLF-H"})
+
+
+def scheduler_by_name(
+    name: str, rl_switch_decisions: int | None = None
+) -> Scheduler:
+    """Instantiate a scheduler by its display name.
+
+    ``rl_switch_decisions`` overrides the MLF family's heuristic→RL
+    switch threshold (ignored for the baselines); the service daemon
+    exposes it so short online runs can reach the RL phase.
+    """
+    factory = SCHEDULER_FACTORIES.get(name)
+    if factory is None:
         known = ", ".join(sorted(SCHEDULER_FACTORIES))
         raise SystemExit(f"unknown scheduler {name!r}; choose from: {known}")
+    if rl_switch_decisions is not None and name in _MLF_FAMILY:
+        from repro.core.config import MLFSConfig
+
+        config = MLFSConfig(
+            enable_load_control=(name == "MLFS"),
+            rl_switch_decisions=rl_switch_decisions,
+        )
+        return factory(config=config)
+    return factory()

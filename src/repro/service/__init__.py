@@ -39,6 +39,7 @@ from repro.service.protocol import (
 )
 from repro.service.snapshot import SnapshotManager
 from repro.service.telemetry import (
+    RunningJctStats,
     TelemetryExporter,
     read_telemetry,
     summarize_telemetry,
@@ -52,6 +53,7 @@ __all__ = [
     "ProtocolError",
     "Request",
     "Response",
+    "RunningJctStats",
     "SchedulerDaemon",
     "SchedulerService",
     "ServiceClient",

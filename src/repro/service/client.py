@@ -118,6 +118,14 @@ class ServiceClient:
         """Engine/cluster metrics snapshot."""
         return self.call("metrics")
 
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return str(self.call("metrics_text").get("text", ""))
+
+    def history(self, job_id: str) -> dict[str, Any]:
+        """A job's event timeline."""
+        return self.call("history", job_id=job_id)
+
     def drain(self, max_rounds: int = 100_000) -> dict[str, Any]:
         """Stop admissions and run everything to completion."""
         return self.call("drain", max_rounds=max_rounds)

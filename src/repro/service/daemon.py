@@ -44,9 +44,12 @@ from repro.service.protocol import (
     Response,
     parse_request,
 )
+from repro.obs.observer import Observer
+from repro.obs.tracing import NullTracer, Tracer
 from repro.service.snapshot import SnapshotManager
-from repro.service.telemetry import TelemetryExporter, round_record
+from repro.service.telemetry import RunningJctStats, TelemetryExporter, round_record
 from repro.sim.engine import EngineConfig, RoundResult, SimulationEngine
+from repro.sim.interface import Scheduler
 from repro.workload.generator import WorkloadConfig, build_job
 from repro.workload.job import Job
 from repro.workload.trace import TraceRecord
@@ -70,6 +73,11 @@ class ServiceConfig:
     snapshot_every: int = 10
     snapshot_keep: int = 5
     telemetry_path: Optional[str] = None
+    #: Chrome-trace output for the scheduler-phase spans; ``None``
+    #: keeps tracing off (metrics and timelines stay on regardless).
+    trace_path: Optional[str] = None
+    #: Override of the MLF family's heuristic→RL switch threshold.
+    rl_switch_decisions: Optional[int] = None
     #: Real seconds between automatic rounds; 0 disables the round loop
     #: (rounds then advance only through ``drain``).
     round_interval: float = 1.0
@@ -78,10 +86,21 @@ class ServiceConfig:
 class SchedulerService:
     """Synchronous service core: engine + admission + telemetry + snapshots."""
 
-    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
         self.config = config or ServiceConfig()
         cluster = Cluster.build(self.config.servers, self.config.gpus_per_server)
-        scheduler = scheduler_by_name(self.config.scheduler)
+        if scheduler is None:
+            scheduler = scheduler_by_name(
+                self.config.scheduler,
+                rl_switch_decisions=self.config.rl_switch_decisions,
+            )
+        self.observer = Observer(
+            tracer=Tracer() if self.config.trace_path else NullTracer()
+        )
         self.engine = SimulationEngine(
             scheduler=scheduler,
             jobs=[],
@@ -91,6 +110,7 @@ class SchedulerService:
                 seed=self.config.seed,
                 max_time=float("inf"),
             ),
+            observer=self.observer,
         )
         self.admission = AdmissionController(
             threshold=self.config.admission_threshold,
@@ -113,7 +133,25 @@ class SchedulerService:
         #: job_id -> {"spec": JobSpec, "job": Job|None, "state": str}
         self._registry: dict[str, dict[str, Any]] = {}
         self._submissions = 0
+        self._jct_stats = RunningJctStats()
+        self._register_service_metrics()
         self.draining = False
+
+    def _register_service_metrics(self) -> None:
+        registry = self.observer.registry
+        self._submissions_total = registry.counter(
+            "mlfs_service_submissions_total",
+            "Job submissions received, by admission outcome.",
+            labels=("outcome",),
+        )
+        self._admission_queue_gauge = registry.gauge(
+            "mlfs_admission_queue_depth",
+            "Jobs parked by the admission controller.",
+        )
+        self._overload_smoothed_gauge = registry.gauge(
+            "mlfs_overload_smoothed",
+            "EWMA-smoothed overload degree the admission controller sees.",
+        )
 
     # -- construction / restore -------------------------------------------
 
@@ -138,6 +176,7 @@ class SchedulerService:
     def submit(self, spec: JobSpec) -> dict[str, Any]:
         """Admit, queue, or reject one submission."""
         if self.draining:
+            self._submissions_total.labels("rejected").inc()
             return {"job_id": spec.job_id, "status": "rejected", "reason": "draining"}
         job_id = spec.job_id or f"svc-{self._submissions:05d}"
         if job_id in self._registry:
@@ -147,6 +186,15 @@ class SchedulerService:
         decision = self.admission.check(self.engine.cluster)
         entry = {"spec": spec, "job": job, "state": decision.value}
         self._registry[job_id] = entry
+        self._submissions_total.labels(decision.value).inc()
+        self.observer.job_event(
+            job_id,
+            "admission",
+            self.engine.now,
+            round_index=self.engine.round_index,
+            detail=decision.value,
+            model=spec.model_name,
+        )
         if decision is AdmissionDecision.ADMIT:
             self.engine.inject_job(job)
             entry["state"] = "active"
@@ -166,15 +214,18 @@ class SchedulerService:
             entry = self._registry[job_id]
             self.engine.inject_job(entry["job"])
             entry["state"] = "active"
+        self._admission_queue_gauge.set(self.admission.queue_depth)
+        self._overload_smoothed_gauge.set(self.admission.tracker.value)
         if result.ticked or result.events_processed:
-            self.telemetry.emit(
-                round_record(
-                    result,
-                    self.engine.metrics,
-                    admission_queue_depth=self.admission.queue_depth,
-                    overload_smoothed=self.admission.tracker.value,
-                )
+            record = round_record(
+                result,
+                self.engine.metrics,
+                admission_queue_depth=self.admission.queue_depth,
+                overload_smoothed=self.admission.tracker.value,
+                jct_stats=self._jct_stats,
             )
+            record["obs"] = self.observer.registry.scalar_snapshot()
+            self.telemetry.emit(record)
         if (
             self.snapshots is not None
             and self.config.snapshot_every > 0
@@ -222,6 +273,19 @@ class SchedulerService:
             raise ProtocolError(f"job {job_id!r} is {entry['state']}; cannot cancel")
         return {"job_id": job_id, "status": "cancelled"}
 
+    def metrics_text(self) -> str:
+        """The metrics registry in Prometheus text exposition format."""
+        return self.observer.registry.render_text()
+
+    def history(self, job_id: str) -> dict[str, Any]:
+        """A job's event timeline (admission → … → completed)."""
+        if job_id not in self._registry and job_id not in self.observer.timeline:
+            raise ProtocolError(f"unknown job {job_id!r}")
+        return {
+            "job_id": job_id,
+            "events": self.observer.timeline.history(job_id),
+        }
+
     def metrics(self) -> dict[str, Any]:
         """Engine/cluster metrics snapshot."""
         return {
@@ -251,8 +315,10 @@ class SchedulerService:
         return self.engine.is_drained and self.admission.queue_depth == 0
 
     def close(self) -> None:
-        """Release file handles (telemetry)."""
+        """Release file handles (telemetry) and flush the trace."""
         self.telemetry.close()
+        if self.config.trace_path and self.observer.tracer.enabled:
+            self.observer.tracer.write(Path(self.config.trace_path))
 
     # -- internals ---------------------------------------------------------
 
@@ -420,6 +486,13 @@ class SchedulerDaemon:
             return Response.success(core.cancel(job_id), id=request.id)
         if request.op == "metrics":
             return Response.success(core.metrics(), id=request.id)
+        if request.op == "metrics_text":
+            return Response.success({"text": core.metrics_text()}, id=request.id)
+        if request.op == "history":
+            job_id = params.get("job_id")
+            if not job_id:
+                raise ProtocolError("history requires job_id")
+            return Response.success(core.history(job_id), id=request.id)
         if request.op == "drain":
             result = await self._drain(int(params.get("max_rounds", 100_000)))
             return Response.success(result, id=request.id)

@@ -13,6 +13,13 @@ Verbs
 ``status``   Status of one job (``job_id``) or of every known job.
 ``cancel``   Cancel a queued or running job.
 ``metrics``  Cluster/engine metrics summary.
+``metrics_text``
+             The observability registry rendered in the Prometheus text
+             exposition format (counters, gauges, phase-latency
+             histograms).
+``history``  A job's event timeline (``job_id``): admission → submitted
+             → queued → placed → migrated/evicted → stopped/completed,
+             each stamped with round, servers and priority.
 ``drain``    Stop admitting work and run the engine until everything
              completes.
 ``step``     Advance a fixed number of scheduler rounds (keeps
@@ -37,6 +44,8 @@ VERBS = frozenset(
         "status",
         "cancel",
         "metrics",
+        "metrics_text",
+        "history",
         "drain",
         "step",
         "snapshot",

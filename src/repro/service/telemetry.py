@@ -12,11 +12,12 @@ the current line, and the records feed directly into the existing
 from __future__ import annotations
 
 import json
+from bisect import insort
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Optional, TextIO
 
-from repro.analysis.cdf import percentile
+from repro.analysis.cdf import percentile_sorted
 from repro.sim.engine import RoundResult
 from repro.sim.metrics import SimulationMetrics
 
@@ -27,14 +28,61 @@ TELEMETRY_VERSION = 1
 JCT_PERCENTILES = (50.0, 95.0, 99.0)
 
 
+class RunningJctStats:
+    """Incrementally sorted JCT sample for per-round percentile queries.
+
+    ``metrics.job_records`` is append-only, so instead of re-sorting the
+    whole JCT list every round (O(n log n) per round, O(n² log n) over a
+    run), this keeps a sorted copy and folds in only the records that
+    arrived since the last sync (``bisect.insort``, O(completions · n)
+    moves but zero re-sorts).  Percentile math is shared with
+    :func:`repro.analysis.cdf.percentile` via
+    :func:`~repro.analysis.cdf.percentile_sorted`, so the reported
+    values are bit-identical to the old implementation.
+
+    The tracker is plain data and pickles with daemon snapshots; after a
+    restore it resynchronizes from wherever the record list stands.
+    """
+
+    def __init__(self) -> None:
+        self._sorted: list[float] = []
+        self._seen = 0
+
+    def sync(self, metrics: SimulationMetrics) -> None:
+        """Fold in job records appended since the last call."""
+        records = metrics.job_records
+        if self._seen > len(records):
+            # The metrics object was replaced/rewound; rebuild.
+            self._sorted = []
+            self._seen = 0
+        for record in records[self._seen :]:
+            insort(self._sorted, record.jct)
+        self._seen = len(records)
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile of the tracked sample."""
+        return percentile_sorted(self._sorted, q)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+
 def round_record(
     result: RoundResult,
     metrics: SimulationMetrics,
     admission_queue_depth: int = 0,
     overload_smoothed: Optional[float] = None,
+    jct_stats: Optional[RunningJctStats] = None,
 ) -> dict[str, Any]:
-    """Build one telemetry record from a round result and the metrics."""
-    jcts = [r.jct for r in metrics.job_records]
+    """Build one telemetry record from a round result and the metrics.
+
+    ``jct_stats`` is the hot-path option: a caller-owned
+    :class:`RunningJctStats` makes the percentile block incremental
+    instead of sorting every completed job's JCT again each round.
+    """
+    if jct_stats is None:
+        jct_stats = RunningJctStats()
+    jct_stats.sync(metrics)
     record: dict[str, Any] = {
         "v": TELEMETRY_VERSION,
         "round": result.round_index,
@@ -57,7 +105,7 @@ def round_record(
     if overload_smoothed is not None:
         record["overload_smoothed"] = overload_smoothed
     for q in JCT_PERCENTILES:
-        record[f"jct_p{int(q)}"] = percentile(jcts, q) if jcts else 0.0
+        record[f"jct_p{int(q)}"] = jct_stats.percentile(q) if len(jct_stats) else 0.0
     return record
 
 
@@ -138,13 +186,17 @@ def summarize_telemetry(records: Iterable[dict[str, Any]]) -> dict[str, float]:
     last = records[-1]
     queue_depths = [r.get("queue_depth", 0) for r in records]
     overloads = [r.get("overload_degree", 0.0) for r in records]
+    migrations = sum(r.get("migrations", 0) for r in records)
+    evictions = sum(r.get("evictions", 0) for r in records)
     return {
         "rounds": float(len(records)),
         "sim_time_s": float(last.get("sim_time", 0.0)),
         "jobs_completed": float(last.get("completed_total", 0)),
         "placements": float(sum(r.get("placements", 0) for r in records)),
-        "migrations": float(sum(r.get("migrations", 0) for r in records)),
-        "evictions": float(sum(r.get("evictions", 0) for r in records)),
+        "migrations": float(migrations),
+        "evictions": float(evictions),
+        "migrations_per_round": migrations / len(records),
+        "evictions_per_round": evictions / len(records),
         "stops": float(sum(r.get("stops", 0) for r in records)),
         "max_queue_depth": float(max(queue_depths)),
         "mean_queue_depth": sum(queue_depths) / len(queue_depths),

@@ -29,11 +29,19 @@ from __future__ import annotations
 import random
 import time as _time
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.cluster.cluster import Cluster
 from repro.learncurve.accuracy import AccuracyPredictor
 from repro.learncurve.runtime import RuntimePredictor
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    set_current_observer,
+)
+from repro.obs.tracing import Tracer
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.execution import ExecutionModel
 from repro.sim.interface import (
@@ -130,11 +138,20 @@ class SimulationEngine:
         config: Optional[EngineConfig] = None,
         accuracy_predictor: Optional[AccuracyPredictor] = None,
         runtime_predictor: Optional[RuntimePredictor] = None,
+        observer: Optional[Union[Observer, NullObserver]] = None,
+        trace: Optional[Union[str, Path]] = None,
     ) -> None:
         self.scheduler = scheduler
         self.jobs = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
         self.cluster = cluster
         self.config = config or EngineConfig()
+        self._trace_path = Path(trace) if trace is not None else None
+        if observer is not None:
+            self.obs = observer
+        elif self._trace_path is not None:
+            self.obs = Observer(tracer=Tracer())
+        else:
+            self.obs = NULL_OBSERVER
         self.accuracy_predictor = accuracy_predictor or AccuracyPredictor(
             seed=self.config.seed
         )
@@ -236,7 +253,7 @@ class SimulationEngine:
         if ticked:
             self._round_index += 1
         counters = self._round_counters
-        return RoundResult(
+        result = RoundResult(
             round_index=self._round_index,
             now=self.now,
             ticked=ticked,
@@ -253,12 +270,16 @@ class SimulationEngine:
             overload_degree=self.cluster.overload_degree(),
             drained=self.is_drained,
         )
+        self.obs.on_round(result)
+        return result
 
     def finalize(self) -> SimulationMetrics:
         """Force-complete what is still active and close the metrics."""
         if not self._finalized:
             self._finalized = True
             self._finalize_unfinished()
+            if self._trace_path is not None and self.obs.tracer.enabled:
+                self.obs.tracer.write(self._trace_path)
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -323,6 +344,21 @@ class SimulationEngine:
         for task in job.tasks:
             task.mark_queued(self.now)
             self.queue.append(task)
+        self.obs.job_event(
+            job.job_id,
+            "submitted",
+            self.now,
+            round_index=self._round_index,
+            detail=job.model.name,
+            gpus=job.gpus_requested,
+        )
+        self.obs.job_event(
+            job.job_id,
+            "queued",
+            self.now,
+            round_index=self._round_index,
+            tasks=len(job.tasks),
+        )
         self.scheduler.on_job_arrival(job, self.now)
 
     def _handle_tick(self) -> None:
@@ -339,12 +375,22 @@ class SimulationEngine:
                 accuracy_predictor=self.accuracy_predictor,
                 runtime_predictor=self.runtime_predictor,
             )
-            started = _time.perf_counter()
-            decision = self.scheduler.on_schedule(ctx)
-            self.metrics.record_overhead(_time.perf_counter() - started)
-            self._apply_decision(decision)
-            self._enforce_stall_guard()
-            self._start_ready_iterations()
+            previous = set_current_observer(self.obs)
+            try:
+                with self.obs.span(
+                    "round",
+                    round=self._round_index,
+                    queue=len(self.queue),
+                    active_jobs=len(self.active_jobs),
+                ):
+                    started = _time.perf_counter()
+                    decision = self.scheduler.on_schedule(ctx)
+                    self.metrics.record_overhead(_time.perf_counter() - started)
+                    self._apply_decision(decision)
+                    self._enforce_stall_guard()
+                    self._start_ready_iterations()
+            finally:
+                set_current_observer(previous)
         self._schedule_next_tick()
 
     def _schedule_next_tick(self) -> None:
@@ -405,18 +451,36 @@ class SimulationEngine:
         landed = server.place_task(task, gpu)
         task.mark_placed(self.now, server_id, landed.gpu_id)
         self._round_counters["placements"] += 1
+        self.obs.job_event(
+            task.job_id,
+            "placed",
+            self.now,
+            round_index=self._round_index,
+            task_id=task.task_id,
+            server_id=server_id,
+            gpu_id=landed.gpu_id,
+        )
         self._close_wait_stint(task.job)
         self._cancel_iteration(task.job)  # placement changes contention; restart cleanly
 
     def _evict_task(self, task: Task) -> None:
         if not task.is_placed:
             raise ValueError(f"cannot evict task {task.task_id}: not placed")
+        src_server_id = task.server_id
         server = self.cluster.server(task.server_id)
         server.remove_task(task)
         task.mark_queued(self.now)
         self.queue.append(task)
         self.metrics.num_evictions += 1
         self._round_counters["evictions"] += 1
+        self.obs.job_event(
+            task.job_id,
+            "evicted",
+            self.now,
+            round_index=self._round_index,
+            task_id=task.task_id,
+            server_id=src_server_id,
+        )
         job = task.job
         self._cancel_iteration(job)
         if not job.placed_tasks():
@@ -429,6 +493,7 @@ class SimulationEngine:
             raise ValueError(f"cannot migrate task {task.task_id}: not placed")
         if task.server_id == dst_server_id:
             return
+        src_server_id = task.server_id
         src = self.cluster.server(task.server_id)
         src.remove_task(task)
         dst = self.cluster.server(dst_server_id)
@@ -439,6 +504,16 @@ class SimulationEngine:
         task.num_migrations += 1
         self.metrics.num_migrations += 1
         self._round_counters["migrations"] += 1
+        self.obs.job_event(
+            task.job_id,
+            "migrated",
+            self.now,
+            round_index=self._round_index,
+            task_id=task.task_id,
+            server_id=dst_server_id,
+            gpu_id=landed.gpu_id,
+            detail=f"from=server-{src_server_id}",
+        )
         self.metrics.migration_bandwidth_mb += migration_volume_mb(task)
         self._extend_iteration(task.job, self.config.migration_penalty_seconds)
 
@@ -525,6 +600,14 @@ class SimulationEngine:
             job.accuracy_at_deadline = job.accuracy_at(job.iterations_at_deadline)
         self._close_wait_stint(job, completing=True)
         waiting = self._wait_accum.pop(job.job_id, 0.0)
+        self.obs.job_event(
+            job.job_id,
+            "stopped" if stopped_early else "completed",
+            self.now,
+            round_index=self._round_index,
+            jct=job.completion_time - job.arrival_time,
+            iterations=job.iterations_completed,
+        )
         self.metrics.record_job(job, waiting)
         self.active_jobs.pop(job.job_id, None)
         self._stall_counter.pop(job.job_id, None)

@@ -1,0 +1,301 @@
+"""Tests for the observability layer (metrics, tracing, timelines).
+
+Covers the registry (Prometheus rendering, label children, pickling),
+the tracer (span nesting, the disabled no-op path, Chrome-trace
+round-tripping), per-job timelines, and the engine integration: phase
+spans per scheduler, trace files written by ``SimulationEngine(trace=)``
+and the zero-cost NULL_OBSERVER default.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import make_mlf_h, make_mlfs
+from repro.core.state import FEATURE_SIZE
+from repro.obs import (
+    NULL_OBSERVER,
+    MetricsRegistry,
+    NullTracer,
+    Observer,
+    SCHEDULER_PHASES,
+    TimelineEvent,
+    TimelineRecorder,
+    Tracer,
+    current_observer,
+    set_current_observer,
+    span,
+)
+from repro.rl.policy import ScoringPolicy
+from repro.sim import EngineConfig, SimulationEngine
+from repro.workload import build_jobs, generate_trace
+
+WEEK = 7 * 24 * 3600.0
+
+
+def small_engine(scheduler=None, num_jobs=12, servers=4, seed=21, **engine_kwargs):
+    records = generate_trace(num_jobs, duration_seconds=1800.0, seed=seed)
+    jobs = build_jobs(records, seed=seed + 1)
+    cluster = Cluster.build(servers, 4)
+    return SimulationEngine(
+        scheduler or make_mlf_h(),
+        jobs,
+        cluster,
+        EngineConfig(max_time=WEEK),
+        **engine_kwargs,
+    )
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "a counter").inc()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(4.5)
+        reg.histogram("h", buckets=(1.0, 10.0)).observe(0.5)
+        reg.histogram("h").observe(100.0)
+        snap = reg.scalar_snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 4.5
+        assert snap["h_count"] == 2
+        assert snap["h_sum"] == 100.5
+
+    def test_labelled_children(self):
+        reg = MetricsRegistry()
+        family = reg.counter("ops", "by kind", labels=("kind",))
+        family.labels("read").inc()
+        family.labels("read").inc()
+        family.labels("write").inc()
+        snap = reg.scalar_snapshot()
+        assert snap['ops{kind="read"}'] == 2
+        assert snap['ops{kind="write"}'] == 1
+        with pytest.raises(ValueError):
+            family.labels()  # label count mismatch
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_counter_is_monotonic(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_render_text_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "Jobs seen.").inc(5)
+        hist = reg.histogram("lat", "Latency.", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = reg.render_text()
+        assert "# HELP jobs_total Jobs seen." in text
+        assert "# TYPE jobs_total counter" in text
+        assert "jobs_total 5" in text
+        # Buckets are cumulative and end with +Inf = count.
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum" in text
+        assert "lat_count 3" in text
+        assert text.endswith("\n")
+
+    def test_registry_pickles(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.histogram("h", labels=("p",)).labels("x").observe(0.2)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.scalar_snapshot() == reg.scalar_snapshot()
+        clone.counter("c").inc()  # still usable after restore
+        assert clone.scalar_snapshot()["c"] == 8
+
+
+class TestTracer:
+    def test_spans_nest(self):
+        obs = Observer(tracer=Tracer())
+        with obs.span("round"):
+            with obs.span("priority"):
+                pass
+            with obs.span("placement"):
+                with obs.span("rl_inference"):
+                    pass
+        by_name = {r.name: r for r in obs.tracer.events}
+        assert by_name["round"].depth == 0
+        assert by_name["priority"].depth == 1
+        assert by_name["placement"].depth == 1
+        assert by_name["rl_inference"].depth == 2
+        # Children close before parents: the round span is last.
+        assert obs.tracer.events[-1].name == "round"
+        # The parent's interval contains the children's.
+        rnd = by_name["round"]
+        for child in ("priority", "placement", "rl_inference"):
+            rec = by_name[child]
+            assert rec.start_us >= rnd.start_us
+            assert rec.start_us + rec.dur_us <= rnd.start_us + rnd.dur_us + 1.0
+
+    def test_disabled_tracer_records_nothing(self):
+        obs = Observer(tracer=NullTracer())
+        with obs.span("round"):
+            with obs.span("priority"):
+                pass
+        assert len(obs.tracer) == 0
+        assert obs.tracer.chrome_events() == []
+        # The phase histogram still observes (metrics stay on).
+        assert obs.registry.scalar_snapshot()[
+            'mlfs_scheduler_phase_seconds_count{phase="round"}'
+        ] == 1
+
+    def test_chrome_trace_round_trips(self, tmp_path):
+        obs = Observer(tracer=Tracer())
+        with obs.span("round", round=3):
+            with obs.span("priority", jobs=7):
+                pass
+        path = obs.tracer.write(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+            assert event["name"] in ("round", "priority")
+        args = {e["name"]: e.get("args") for e in events}
+        assert args["priority"] == {"jobs": 7}
+
+    def test_max_events_cap(self):
+        tracer = Tracer(max_events=2)
+        obs = Observer(tracer=tracer)
+        for _ in range(5):
+            with obs.span("round"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert tracer.to_chrome_trace()["otherData"]["dropped_spans"] == 3
+
+
+class TestTimelineRecorder:
+    def test_record_and_history(self):
+        recorder = TimelineRecorder()
+        recorder.record("j1", TimelineEvent(time=1.0, event="submitted"))
+        recorder.record(
+            "j1",
+            TimelineEvent(
+                time=2.0, event="placed", task_id="t0", server_id=3, priority=0.5
+            ),
+        )
+        history = recorder.history("j1")
+        assert [e["event"] for e in history] == ["submitted", "placed"]
+        assert history[1]["server_id"] == 3
+        assert history[1]["priority"] == 0.5
+        assert "gpu_id" not in history[1]  # Nones dropped
+        assert recorder.history("missing") == []
+
+    def test_capped_at_max_jobs(self):
+        recorder = TimelineRecorder(max_jobs=2)
+        for index in range(4):
+            recorder.record(f"j{index}", TimelineEvent(time=float(index), event="submitted"))
+        assert len(recorder) == 2
+        assert recorder.job_ids() == ["j2", "j3"]
+        assert "j0" not in recorder
+
+
+class TestObserverRouting:
+    def test_defaults_to_null_observer(self):
+        assert current_observer() is NULL_OBSERVER
+        # Module-level spans are no-ops with no active observer.
+        with span("priority"):
+            pass
+
+    def test_activation_routes_and_restores(self):
+        obs = Observer(tracer=Tracer())
+        previous = set_current_observer(obs)
+        try:
+            assert current_observer() is obs
+            with span("priority"):
+                pass
+        finally:
+            set_current_observer(previous)
+        assert current_observer() is NULL_OBSERVER
+        assert [r.name for r in obs.tracer.events] == ["priority"]
+
+    def test_observer_pickles_with_counts(self):
+        obs = Observer(tracer=Tracer())
+        obs.job_event("j1", "placed", 1.0, task_id="t0", server_id=0)
+        obs.job_event("j1", "completed", 5.0, jct=4.0)
+        with obs.span("round"):
+            pass
+        clone = pickle.loads(pickle.dumps(obs))
+        snap = clone.registry.scalar_snapshot()
+        assert snap["mlfs_task_placements_total"] == 1
+        assert snap["mlfs_job_completions_total"] == 1
+        assert clone.timeline.history("j1")[-1]["jct"] == 4.0
+        # Re-registered family handles keep feeding the same registry.
+        clone.job_event("j2", "placed", 6.0)
+        assert clone.registry.scalar_snapshot()["mlfs_task_placements_total"] == 2
+
+
+class TestEngineIntegration:
+    def test_default_observer_is_null(self):
+        engine = small_engine()
+        assert engine.obs is NULL_OBSERVER
+        engine.run()  # no observability cost, no errors
+
+    def test_trace_file_written_with_phases(self, tmp_path):
+        path = tmp_path / "mlfh.json"
+        engine = small_engine(trace=path)
+        engine.run()
+        doc = json.loads(path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        # MLF-H emits the heuristic phases each round.
+        assert {"round", "priority", "migration", "placement"} <= names
+
+    def test_mlfs_rl_phase_emits_all_five_spans(self, tmp_path):
+        path = tmp_path / "mlfs.json"
+        scheduler = make_mlfs(policy=ScoringPolicy(feature_size=FEATURE_SIZE, seed=7))
+        engine = small_engine(scheduler=scheduler, trace=path)
+        engine.run()
+        doc = json.loads(path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert set(SCHEDULER_PHASES) <= names
+
+    def test_job_timelines_and_counters(self):
+        obs = Observer()
+        engine = small_engine(observer=obs)
+        engine.run()
+        snap = obs.registry.scalar_snapshot()
+        assert snap["mlfs_job_arrivals_total"] == 12
+        assert snap["mlfs_job_completions_total"] == 12
+        assert snap["mlfs_task_placements_total"] >= 12
+        assert snap["mlfs_rounds_total"] > 0
+        assert len(obs.timeline) == 12
+        for job_id in obs.timeline.job_ids():
+            events = [e["event"] for e in obs.timeline.history(job_id)]
+            assert events[0] == "submitted"
+            assert events[1] == "queued"
+            assert "placed" in events
+            assert events[-1] in ("completed", "stopped")
+        # Per-phase latency histograms populate from the same spans.
+        assert snap['mlfs_scheduler_phase_seconds_count{phase="priority"}'] > 0
+
+    def test_observed_run_matches_unobserved(self):
+        """Instrumentation must not perturb the schedule."""
+        plain = small_engine(seed=29)
+        plain.run()
+        observed = small_engine(seed=29, observer=Observer(tracer=Tracer()))
+        observed.run()
+        plain_out = sorted(
+            (r.job_id, r.jct, r.iterations_completed)
+            for r in plain.metrics.job_records
+        )
+        observed_out = sorted(
+            (r.job_id, r.jct, r.iterations_completed)
+            for r in observed.metrics.job_records
+        )
+        assert plain_out == observed_out

@@ -434,6 +434,46 @@ class TestDeterministicResume:
         out = restored.submit(JobSpec(model_name="svm", gpus_requested=1))
         assert out["status"] == "admitted"
 
+    def test_observability_survives_restore(self, tmp_path):
+        # Metric counters and job timelines are part of the snapshot:
+        # the revived service continues counting where the old one died,
+        # and pre-crash job histories stay queryable.
+        specs = scripted_specs()
+        snap_dir = tmp_path / "snaps"
+        core = SchedulerService(
+            service_config(tmp_path, seed=13, snapshot_dir=str(snap_dir))
+        )
+        submit_window(core, specs, 0, 6)
+        pre_snapshot = core.observer.registry.scalar_snapshot()
+        pre_jobs = core.observer.timeline.job_ids()
+        assert pre_snapshot["mlfs_job_arrivals_total"] == 6
+        assert len(pre_jobs) == 6
+        core.snapshot_now()
+        del core  # "crash"
+
+        restored = SchedulerService.restore(snap_dir)
+        snap = restored.observer.registry.scalar_snapshot()
+        assert snap["mlfs_job_arrivals_total"] == 6
+        assert snap["mlfs_rounds_total"] == pre_snapshot["mlfs_rounds_total"]
+        assert restored.observer.timeline.job_ids() == pre_jobs
+        first = pre_jobs[0]
+        events = [e["event"] for e in restored.observer.timeline.history(first)]
+        assert events[0] == "admission"
+        assert "placed" in events
+
+        # Counters keep advancing from the restored values, and the
+        # restored engine routes events into the restored observer.
+        submit_window(restored, specs, 6, len(specs))
+        restored.drain()
+        final = restored.observer.registry.scalar_snapshot()
+        assert final["mlfs_job_arrivals_total"] == len(specs)
+        assert final["mlfs_job_completions_total"] == len(specs)
+        assert final["mlfs_rounds_total"] > snap["mlfs_rounds_total"]
+        last_events = [
+            e["event"] for e in restored.observer.timeline.history(pre_jobs[-1])
+        ]
+        assert last_events[-1] in ("completed", "stopped")
+
 
 class TestDaemonRoundTrip:
     def test_submit_status_metrics_telemetry(self, tmp_path):
@@ -482,3 +522,46 @@ class TestDaemonRoundTrip:
                 # Draining closed admissions for good.
                 late = client.submit(JobSpec(model_name="svm", gpus_requested=1))
                 assert late["status"] == "rejected"
+
+    def test_metrics_text_and_history_verbs(self, tmp_path):
+        config = service_config(
+            tmp_path, telemetry_path=str(tmp_path / "telemetry.jsonl")
+        )
+        with ThreadedDaemon(config) as daemon:
+            with ServiceClient(daemon.socket_path) as client:
+                out = client.submit(
+                    JobSpec(model_name="alexnet", gpus_requested=2, max_iterations=5)
+                )
+                job_id = out["job_id"]
+                client.drain()
+
+                text = client.metrics_text()
+                families = {
+                    line.split()[2]
+                    for line in text.splitlines()
+                    if line.startswith("# TYPE")
+                }
+                # The acceptance bar: at least ten distinct families,
+                # including the per-phase latency histogram.
+                assert len(families) >= 10
+                assert "mlfs_scheduler_phase_seconds" in families
+                assert "mlfs_job_arrivals_total" in families
+                assert "mlfs_service_submissions_total" in families
+                assert 'phase="priority"' in text
+
+                history = client.history(job_id)
+                assert history["job_id"] == job_id
+                events = [e["event"] for e in history["events"]]
+                assert events[0] == "admission"
+                assert "placed" in events
+                assert events[-1] in ("completed", "stopped")
+                for event in history["events"]:
+                    assert "time" in event
+                with pytest.raises(ServiceError):
+                    client.history("svc-404")
+
+        # Telemetry rounds embed the metric snapshot for offline replay.
+        records = read_telemetry(config.telemetry_path)
+        assert records
+        obs = records[-1]["obs"]
+        assert obs["mlfs_job_completions_total"] == 1

@@ -51,7 +51,11 @@ def percentile_sorted(ordered: Sequence[float], q: float) -> float:
     if low == high:
         return ordered[low]
     frac = rank - low
-    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+    lower, upper = ordered[low], ordered[high]
+    # lower + delta*frac (not the two-product lerp): with equal endpoints
+    # the two-product form can land an ulp outside [lower, upper], which
+    # breaks the range guarantee; clamp to be safe for every rounding.
+    return min(max(lower + (upper - lower) * frac, lower), upper)
 
 
 def log_spaced_points(lo: float, hi: float, count: int = 20) -> list[float]:

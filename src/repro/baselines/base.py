@@ -64,7 +64,7 @@ def pack_tasks(
             shadow.restore(snapshot)
             return None
 
-        def sort_key(server: Server) -> tuple:
+        def sort_key(server: Server) -> tuple[int, float, int]:
             return (
                 rank.get(server.server_id, len(rank)),
                 shadow.overload_degree(server),

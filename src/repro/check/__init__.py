@@ -1,0 +1,53 @@
+"""Correctness tooling: custom lint, runtime sanitizer, typing gate.
+
+MLFS correctness rests on invariants the paper states but ordinary
+tests rarely exercise: GPU/bandwidth conservation under MLF-H placement
+and overload relief (Eqs. 2-6), priority-ordered dequeue, and
+deterministic replay of the simulated schedule.  This package holds the
+three coordinated passes that police them:
+
+* :mod:`repro.check.lint` -- a repo-specific AST lint (``repro lint``)
+  that rejects the code patterns which historically break determinism
+  and hygiene: wall-clock reads and global-RNG draws inside simulated
+  code, mutable default arguments, bare ``except:``, float ``==`` on
+  priority/score values, and ``print()`` in library code.
+* :mod:`repro.check.sanitize` -- an opt-in runtime invariant sanitizer
+  (``REPRO_SANITIZE=1`` or ``SimulationEngine(sanitize=True)``) that
+  after every scheduler round asserts resource conservation, queue
+  consistency, priority-monotone dequeue order and snapshot round-trip
+  equality, raising :class:`~repro.check.sanitize.InvariantViolation`
+  with the offending server/task ids.
+* :mod:`repro.check.typing_gate` -- the strict-typing gate
+  (``repro typecheck``): runs ``mypy`` with the ``pyproject.toml``
+  configuration when available and otherwise falls back to an AST
+  annotation-coverage check over the strict packages
+  (``repro.core``, ``repro.cluster``, ``repro.check``).
+"""
+
+from repro.check.lint import (
+    LintViolation,
+    RULES,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.check.sanitize import (
+    InvariantViolation,
+    SanitizingCluster,
+    Sanitizer,
+    sanitize_from_env,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "LintViolation",
+    "RULES",
+    "SanitizingCluster",
+    "Sanitizer",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "sanitize_from_env",
+]

@@ -1,0 +1,529 @@
+"""Repo-specific AST lint (``repro lint``).
+
+The simulator's determinism contract (snapshot/resume replays the exact
+schedule; two same-seed runs are bit-identical) survives only if
+simulated code never reads the wall clock and never draws from a global
+RNG -- every random draw must come from an injected
+``random.Random(seed)`` and every timestamp from the simulation clock.
+Generic linters cannot know that, so this one encodes the repo rules:
+
+=======  =====================================================  ==================
+Rule     What it rejects                                        Where
+=======  =====================================================  ==================
+REP001   ``time.time()`` / ``datetime.now()`` wall-clock reads  core, sim,
+         in simulated code                                      workload,
+                                                                learncurve
+REP002   module-level RNG draws (``random.random()``,           core, sim,
+         ``np.random.*``) instead of an injected                workload,
+         ``random.Random``                                      learncurve
+REP003   mutable default arguments                              all of ``src/``
+REP004   bare ``except:``                                       all of ``src/``
+REP005   float ``==``/``!=`` on priority/score values           all of ``src/``
+REP006   ``print()`` in library code (route through             all but ``cli.py``
+         :mod:`repro.obs`)                                      / ``__main__.py``
+=======  =====================================================  ==================
+
+Files outside the ``repro`` package (fixtures, scripts) are linted with
+*every* rule active.  Any finding can be waived for one line with an
+inline escape hatch::
+
+    t = time.time()  # repro-lint: disable=REP001
+    x = eval(s)      # repro-lint: disable=all
+
+Run it as ``repro lint [paths...] --format text|json`` or
+``python -m repro.check.lint``; exit status is 1 when violations remain.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "RULES",
+    "FileScope",
+    "LintViolation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "render_json",
+    "render_text",
+    "scope_for_path",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable id, short name, human summary."""
+
+    rule_id: str
+    name: str
+    summary: str
+
+
+#: The rule catalogue (DESIGN.md section 9 documents each in detail).
+RULES: dict[str, Rule] = {
+    rule.rule_id: rule
+    for rule in (
+        Rule("REP000", "syntax-error", "file does not parse"),
+        Rule(
+            "REP001",
+            "wall-clock",
+            "wall-clock read in simulated code; use the simulation clock",
+        ),
+        Rule(
+            "REP002",
+            "global-rng",
+            "global RNG draw in simulated code; use an injected random.Random",
+        ),
+        Rule("REP003", "mutable-default", "mutable default argument"),
+        Rule("REP004", "bare-except", "bare except: hides real failures"),
+        Rule(
+            "REP005",
+            "float-priority-eq",
+            "float ==/!= on a priority/score value; compare with a tolerance",
+        ),
+        Rule(
+            "REP006",
+            "print-in-library",
+            "print() in library code; route output through repro.obs",
+        ),
+    )
+}
+
+#: Subpackages of ``repro`` whose code runs under the simulation clock.
+CLOCKED_PACKAGES = frozenset({"core", "sim", "workload", "learncurve"})
+
+#: Top-level modules allowed to print (user-facing entry points).
+ENTRYPOINT_MODULES = frozenset({"cli.py", "__main__.py"})
+
+#: ``random`` module functions that draw from (or reseed) the global RNG.
+_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "binomialvariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "getstate",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "setstate",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Wall-clock attribute reads on the ``time`` module.
+_TIME_FUNCS = frozenset({"time", "time_ns"})
+
+#: Wall-clock constructors on ``datetime``/``date`` classes.
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+#: Identifier fragments that mark a value as a priority/score (REP005).
+_PRIORITY_NAME = re.compile(r"prio|score", re.IGNORECASE)
+
+_DISABLE_COMMENT = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class FileScope:
+    """Which scoped rule groups apply to one file."""
+
+    clocked: bool
+    library: bool
+
+
+#: Scope for files outside the repo package: everything applies.
+FULL_SCOPE = FileScope(clocked=True, library=True)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One finding: file, position, rule and message."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (stable keys)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "name": RULES[self.rule_id].name,
+            "message": self.message,
+        }
+
+
+def scope_for_path(path: Path) -> FileScope:
+    """Determine the rule scope of a file from its location.
+
+    Files under ``repro/<pkg>/`` get the clocked rules only when
+    ``<pkg>`` simulates time; ``repro/cli.py`` and ``repro/__main__.py``
+    are exempt from the print rule.  Files not under a ``repro`` package
+    at all (fixtures, one-off scripts) are checked with every rule.
+    """
+    parts = path.resolve().parts
+    if "repro" not in parts:
+        return FULL_SCOPE
+    rel = parts[len(parts) - 1 - parts[::-1].index("repro") + 1 :]
+    if not rel:  # the package directory itself
+        return FULL_SCOPE
+    clocked = rel[0] in CLOCKED_PACKAGES
+    library = not (len(rel) == 1 and rel[0] in ENTRYPOINT_MODULES)
+    return FileScope(clocked=clocked, library=library)
+
+
+class _Collector(ast.NodeVisitor):
+    """Single AST pass producing raw (unsuppressed) violations."""
+
+    def __init__(self, path: str, scope: FileScope) -> None:
+        self.path = path
+        self.scope = scope
+        self.violations: list[LintViolation] = []
+        #: local names bound to the ``time`` / ``random`` / ``numpy`` /
+        #: ``datetime`` modules, e.g. ``{"time", "_time"}``.
+        self._time_mods: set[str] = set()
+        self._random_mods: set[str] = set()
+        self._numpy_mods: set[str] = set()
+        self._datetime_mods: set[str] = set()
+        #: local names bound to ``time.time`` / wall-clock callables via
+        #: ``from x import y [as z]``.
+        self._time_funcs: set[str] = set()
+        self._random_funcs: set[str] = set()
+        #: local names bound to the ``datetime``/``date`` classes.
+        self._datetime_classes: set[str] = set()
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self._time_mods.add(bound)
+            elif alias.name == "random":
+                self._random_mods.add(bound)
+            elif alias.name == "datetime":
+                self._datetime_mods.add(bound)
+            elif alias.name in ("numpy", "numpy.random"):
+                self._numpy_mods.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "time" and alias.name in _TIME_FUNCS:
+                self._time_funcs.add(bound)
+            elif node.module == "random" and alias.name in _RANDOM_FUNCS:
+                self._random_funcs.add(bound)
+            elif node.module == "datetime" and alias.name in ("datetime", "date"):
+                self._datetime_classes.add(bound)
+        self.generic_visit(node)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _report(self, node: ast.AST, rule_id: str, message: str) -> None:
+        self.violations.append(
+            LintViolation(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule_id=rule_id,
+                message=message,
+            )
+        )
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        # REP006 -- print() in library code.
+        if (
+            self.scope.library
+            and isinstance(func, ast.Name)
+            and func.id == "print"
+        ):
+            self._report(node, "REP006", "print() call in library code")
+        if not self.scope.clocked:
+            return
+        # REP001 -- wall-clock reads.
+        if isinstance(func, ast.Name) and func.id in self._time_funcs:
+            self._report(node, "REP001", f"wall-clock call {func.id}()")
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self._time_mods
+                and func.attr in _TIME_FUNCS
+            ):
+                self._report(node, "REP001", f"wall-clock call {base.id}.{func.attr}()")
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self._datetime_classes
+                and func.attr in _DATETIME_FUNCS
+            ):
+                self._report(node, "REP001", f"wall-clock call {base.id}.{func.attr}()")
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id in self._datetime_mods
+                and base.attr in ("datetime", "date")
+                and func.attr in _DATETIME_FUNCS
+            ):
+                self._report(
+                    node,
+                    "REP001",
+                    f"wall-clock call {base.value.id}.{base.attr}.{func.attr}()",
+                )
+        # REP002 -- global RNG draws.
+        if isinstance(func, ast.Name) and func.id in self._random_funcs:
+            self._report(node, "REP002", f"global RNG call {func.id}()")
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if (
+                func.value.id in self._random_mods
+                and func.attr in _RANDOM_FUNCS
+            ):
+                self._report(
+                    node, "REP002", f"global RNG call {func.value.id}.{func.attr}()"
+                )
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in self._numpy_mods
+            and func.value.attr == "random"
+        ):
+            self._report(
+                node,
+                "REP002",
+                f"global NumPy RNG call {func.value.value.id}.random.{func.attr}()",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call(node)
+        self.generic_visit(node)
+
+    # -- REP003: mutable defaults ------------------------------------------
+
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable_literal(default):
+                name = getattr(node, "name", "<lambda>")
+                self._report(
+                    default,
+                    "REP003",
+                    f"mutable default argument in {name}()",
+                )
+
+    @staticmethod
+    def _is_mutable_literal(node: ast.expr) -> bool:
+        if isinstance(
+            node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict", "set", "bytearray")
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- REP004: bare except -----------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(node, "REP004", "bare except: catches SystemExit too")
+        self.generic_visit(node)
+
+    # -- REP005: float == on priority/score values --------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+        if has_eq and not self._has_guard_constant(operands):
+            for operand in operands:
+                name = self._priority_identifier(operand)
+                if name is not None:
+                    self._report(
+                        node,
+                        "REP005",
+                        f"float equality on priority/score value {name!r}",
+                    )
+                    break
+        self.generic_visit(node)
+
+    @staticmethod
+    def _has_guard_constant(operands: list[ast.expr]) -> bool:
+        """String/None comparisons are identity-ish, not float equality."""
+        return any(
+            isinstance(op, ast.Constant) and (op.value is None or isinstance(op.value, str))
+            for op in operands
+        )
+
+    #: Calls producing integral values; operands wrapped in these are
+    #: index/count comparisons, not float score comparisons.
+    _INTEGRAL_CALLS = frozenset({"int", "len", "round", "argmax", "argmin", "index", "count"})
+
+    @classmethod
+    def _priority_identifier(cls, operand: ast.expr) -> Optional[str]:
+        if isinstance(operand, ast.Call):
+            func = operand.func
+            func_name = (
+                func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+            )
+            if func_name in cls._INTEGRAL_CALLS:
+                return None
+        for sub in ast.walk(operand):
+            if isinstance(sub, ast.Name) and _PRIORITY_NAME.search(sub.id):
+                return sub.id
+            if isinstance(sub, ast.Attribute) and _PRIORITY_NAME.search(sub.attr):
+                return sub.attr
+        return None
+
+
+def _suppressed_rules(line: str) -> frozenset[str]:
+    """Rule ids waived by a ``# repro-lint: disable=...`` comment."""
+    match = _DISABLE_COMMENT.search(line)
+    if not match:
+        return frozenset()
+    tokens = {tok.strip().upper() for tok in match.group(1).split(",") if tok.strip()}
+    return frozenset(tokens)
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    scope: Optional[FileScope] = None,
+) -> list[LintViolation]:
+    """Lint one source string; ``scope`` defaults from ``path``."""
+    if scope is None:
+        scope = scope_for_path(Path(path)) if path != "<string>" else FULL_SCOPE
+    name = str(path)
+    try:
+        tree = ast.parse(source, filename=name)
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                path=name,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule_id="REP000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    collector = _Collector(name, scope)
+    collector.visit(tree)
+    lines = source.splitlines()
+    kept: list[LintViolation] = []
+    for violation in sorted(collector.violations, key=lambda v: (v.line, v.col, v.rule_id)):
+        text = lines[violation.line - 1] if 0 < violation.line <= len(lines) else ""
+        waived = _suppressed_rules(text)
+        if "ALL" in waived or violation.rule_id in waived:
+            continue
+        kept.append(violation)
+    return kept
+
+
+def lint_file(path: str | Path) -> list[LintViolation]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    return lint_source(file_path.read_text(encoding="utf-8"), file_path)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            out.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[LintViolation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    violations: list[LintViolation] = []
+    for file_path in iter_python_files(paths):
+        violations.extend(lint_file(file_path))
+    return violations
+
+
+def render_text(violations: Sequence[LintViolation]) -> str:
+    """GCC-style one-line-per-finding report."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col}: {v.rule_id} [{RULES[v.rule_id].name}] {v.message}"
+        for v in violations
+    ]
+    lines.append(f"{len(violations)} violation(s)")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[LintViolation]) -> str:
+    """Machine-readable report (used by the CI gate)."""
+    return json.dumps(
+        {
+            "violations": [v.as_dict() for v in violations],
+            "count": len(violations),
+        },
+        indent=2,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point shared by ``repro lint`` and ``python -m repro.check.lint``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint", description="repo-specific determinism/hygiene lint"
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument("--format", choices=["text", "json"], default="text")
+    args = parser.parse_args(argv)
+    violations = lint_paths(args.paths or ["src"])
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(violations))  # repro-lint: disable=REP006
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(main())

@@ -10,6 +10,8 @@ Commands
 ``submit``   Submit one job to a running daemon.
 ``ctl``      Control a running daemon (status/metrics/drain/cancel/...).
 ``report``   Render a telemetry JSONL file as summary tables.
+``lint``     Run the repo-specific determinism/hygiene lint.
+``typecheck`` Run the strict-typing gate (mypy or the AST fallback).
 
 Examples
 --------
@@ -25,6 +27,8 @@ Examples
     python -m repro ctl --socket /tmp/repro.sock metrics --format prom
     python -m repro ctl --socket /tmp/repro.sock history job-0001
     python -m repro report telemetry.jsonl
+    python -m repro lint src --format json
+    python -m repro typecheck
 """
 
 from __future__ import annotations
@@ -110,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from the newest snapshot in --snapshot-dir",
     )
+    p_serve.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="audit runtime invariants after every round (repro.check.sanitize)",
+    )
 
     p_sub = sub.add_parser("submit", help="submit one job to a running daemon")
     p_sub.add_argument("--socket", default="repro-service.sock")
@@ -160,6 +169,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--no-rounds", action="store_true", help="only print the summary table"
     )
+
+    p_lint = sub.add_parser(
+        "lint", help="repo-specific determinism/hygiene lint (repro.check.lint)"
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src"])
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+
+    p_type = sub.add_parser(
+        "typecheck", help="strict-typing gate (mypy, or the AST annotation fallback)"
+    )
+    p_type.add_argument("--src", default="src")
+    p_type.add_argument("--no-mypy", action="store_true")
     return parser
 
 
@@ -228,6 +249,7 @@ def cmd_serve(args) -> int:
         telemetry_path=args.telemetry,
         trace_path=args.trace,
         rl_switch_decisions=args.rl_switch_decisions,
+        sanitize=True if args.sanitize else None,
     )
     print(f"repro daemon listening on {args.socket} (scheduler={args.scheduler})")
     try:
@@ -328,6 +350,23 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the repo-specific lint over the given paths."""
+    from repro.check import lint
+
+    return lint.main([*args.paths, "--format", args.format])
+
+
+def cmd_typecheck(args) -> int:
+    """Run the strict-typing gate."""
+    from repro.check import typing_gate
+
+    argv = ["--src", args.src]
+    if args.no_mypy:
+        argv.append("--no-mypy")
+    return typing_gate.main(argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -339,6 +378,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "submit": cmd_submit,
         "ctl": cmd_ctl,
         "report": cmd_report,
+        "lint": cmd_lint,
+        "typecheck": cmd_typecheck,
     }
     return handlers[args.command](args)
 

@@ -8,10 +8,13 @@ cluster utilization ``U_c`` and the overload degree
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from repro.cluster.resources import ResourceVector
 from repro.cluster.server import DEFAULT_SERVER_CAPACITY, Server
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.job import Task
 
 
 @dataclass
@@ -108,9 +111,9 @@ class Cluster:
 
     # -- convenience -------------------------------------------------------
 
-    def running_tasks(self) -> list:
+    def running_tasks(self) -> list["Task"]:
         """All tasks currently placed on any server."""
-        tasks = []
+        tasks: list["Task"] = []
         for server in self.servers:
             tasks.extend(server.tasks())
         return tasks

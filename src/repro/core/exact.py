@@ -121,7 +121,7 @@ def pareto_frontier(
     for assignment, score in scored:
         dominated = False
         for _other, other_score in scored:
-            if other_score == score:
+            if other_score is score:
                 continue
             if all(
                 o <= s for o, s in zip(other_score.as_tuple(), score.as_tuple())

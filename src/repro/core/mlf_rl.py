@@ -135,6 +135,7 @@ class MLFRLScheduler(Scheduler):
         with _span("placement", queued=len(ctx.queue)):
             queue_scores = {t.task_id: score(t) for t in ctx.queue}
             ordered = order_pool(list(ctx.queue), queue_scores)
+            decision.record_dequeue(ordered, queue_scores)
             for group in _job_groups(ordered):
                 snapshot = shadow.snapshot()
                 placements = []

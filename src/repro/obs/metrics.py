@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 __all__ = [
     "Counter",
@@ -140,7 +140,7 @@ class Histogram:
             out.append(total)
         return out
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, Any]:
         return {
             "buckets": self.buckets,
             "bucket_counts": self.bucket_counts,
@@ -301,10 +301,10 @@ class MetricsRegistry:
                 out[family.name + suffix] = value
         return out
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, Any]:
         return {"_families": self._families}
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: dict[str, Any]) -> None:
         self._families = state["_families"]
 
 

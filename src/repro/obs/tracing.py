@@ -141,16 +141,23 @@ class NullTracer:
     """The disabled tracer: records nothing, costs nothing."""
 
     enabled = False
-    events: tuple = ()
+    events: tuple[SpanRecord, ...] = ()
     dropped = 0
 
     def push(self) -> int:
         return 0
 
-    def pop(self, name, start_s, dur_s, depth, args=None) -> None:
+    def pop(
+        self,
+        name: str,
+        start_s: float,
+        dur_s: float,
+        depth: int,
+        args: Optional[dict[str, Any]] = None,
+    ) -> None:
         pass
 
-    def chrome_events(self) -> list:
+    def chrome_events(self) -> list[dict[str, Any]]:
         return []
 
     def to_chrome_trace(self) -> dict[str, Any]:

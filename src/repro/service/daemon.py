@@ -81,6 +81,9 @@ class ServiceConfig:
     #: Real seconds between automatic rounds; 0 disables the round loop
     #: (rounds then advance only through ``drain``).
     round_interval: float = 1.0
+    #: Run the invariant sanitizer (:mod:`repro.check.sanitize`) after
+    #: every round.  ``None`` defers to the ``REPRO_SANITIZE`` switch.
+    sanitize: Optional[bool] = None
 
 
 class SchedulerService:
@@ -111,6 +114,7 @@ class SchedulerService:
                 max_time=float("inf"),
             ),
             observer=self.observer,
+            sanitize=self.config.sanitize,
         )
         self.admission = AdmissionController(
             threshold=self.config.admission_threshold,

@@ -22,6 +22,13 @@ a :class:`RoundResult`; :meth:`SimulationEngine.inject_job` admits a job
 mid-run (the streaming-arrival path); :meth:`SimulationEngine.cancel_job`
 terminates an active job early.  ``run()`` is now a thin loop over
 ``step()`` so both drivers produce the identical schedule.
+
+Invariant sanitizer: ``SimulationEngine(sanitize=True)`` (or the
+``REPRO_SANITIZE=1`` environment switch) audits every completed round
+with :class:`repro.check.sanitize.Sanitizer` — resource conservation,
+queue consistency, priority-ordered dequeue and snapshot round-trip —
+raising :class:`repro.check.sanitize.InvariantViolation` with the
+offending server/task ids the moment bookkeeping breaks.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.check.sanitize import Sanitizer, sanitize_from_env
 from repro.cluster.cluster import Cluster
 from repro.learncurve.accuracy import AccuracyPredictor
 from repro.learncurve.runtime import RuntimePredictor
@@ -140,6 +148,7 @@ class SimulationEngine:
         runtime_predictor: Optional[RuntimePredictor] = None,
         observer: Optional[Union[Observer, NullObserver]] = None,
         trace: Optional[Union[str, Path]] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.scheduler = scheduler
         self.jobs = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
@@ -182,6 +191,12 @@ class SimulationEngine:
         self._round_index = 0
         self._round_counters: dict[str, int] = {}
         self._reset_round_counters()
+        # Invariant sanitizer (repro.check.sanitize): explicit flag wins,
+        # otherwise the REPRO_SANITIZE environment switch decides.
+        if sanitize is None:
+            sanitize = sanitize_from_env()
+        self.sanitizer: Optional[Sanitizer] = Sanitizer() if sanitize else None
+        self._last_decision: Optional[SchedulerDecision] = None
 
     # ------------------------------------------------------------------
     # Run loop
@@ -252,6 +267,10 @@ class SimulationEngine:
                 break
         if ticked:
             self._round_index += 1
+        if self.sanitizer is not None and events_processed:
+            decision = self._last_decision if ticked else None
+            self._last_decision = None
+            self.sanitizer.check_round(self, decision=decision)
         counters = self._round_counters
         result = RoundResult(
             round_index=self._round_index,
@@ -386,6 +405,8 @@ class SimulationEngine:
                     started = _time.perf_counter()
                     decision = self.scheduler.on_schedule(ctx)
                     self.metrics.record_overhead(_time.perf_counter() - started)
+                    if self.sanitizer is not None:
+                        self._last_decision = decision
                     self._apply_decision(decision)
                     self._enforce_stall_guard()
                     self._start_ready_iterations()

@@ -69,10 +69,25 @@ class SchedulerDecision:
     migrations: list[Migration] = field(default_factory=list)
     evictions: list[Eviction] = field(default_factory=list)
     stops: list[JobStop] = field(default_factory=list)
+    #: Priority-ordered dequeue declaration for the invariant sanitizer
+    #: (:mod:`repro.check.sanitize`): the ``(job_id, task_id)`` pool in
+    #: the order the scheduler considered it, plus the scores that
+    #: ordering used.  Empty for schedulers without a priority queue.
+    dequeue_order: list[tuple[str, str]] = field(default_factory=list)
+    dequeue_scores: dict[str, float] = field(default_factory=dict)
 
     def is_empty(self) -> bool:
         """True when the decision contains no actions."""
         return not (self.placements or self.migrations or self.evictions or self.stops)
+
+    def record_dequeue(self, ordered: list[Task], scores: dict[str, float]) -> None:
+        """Declare the priority-ordered pool this decision dequeued from.
+
+        Called by priority-queue schedulers (the MLF family) so the
+        runtime sanitizer can assert priority-monotone dequeue order.
+        """
+        self.dequeue_order = [(t.job_id, t.task_id) for t in ordered]
+        self.dequeue_scores = dict(scores)
 
 
 @dataclass

@@ -17,6 +17,12 @@ from repro.cluster.resources import ResourceVector
 from repro.cluster.server import Server
 from repro.workload.job import Task
 
+#: What :meth:`ShadowCluster.snapshot` captures: (server deltas, GPU
+#: deltas, tentative task locations).
+ShadowSnapshot = tuple[
+    dict[int, ResourceVector], dict[tuple[int, int], float], dict[str, Optional[int]]
+]
+
 
 @dataclass
 class ShadowCluster:
@@ -120,7 +126,7 @@ class ShadowCluster:
 
     # -- snapshot / rollback -------------------------------------------------
 
-    def snapshot(self) -> tuple:
+    def snapshot(self) -> ShadowSnapshot:
         """Capture the tentative state (for speculative packing)."""
         return (
             dict(self._server_delta),
@@ -128,7 +134,7 @@ class ShadowCluster:
             dict(self._locations),
         )
 
-    def restore(self, snapshot: tuple) -> None:
+    def restore(self, snapshot: ShadowSnapshot) -> None:
         """Roll back to a state captured by :meth:`snapshot`."""
         server_delta, gpu_delta, locations = snapshot
         self._server_delta = dict(server_delta)

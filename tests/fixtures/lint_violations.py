@@ -1,0 +1,38 @@
+"""Seeded lint fixture: exactly one violation of each rule REP001-REP006.
+
+``tests/test_check_lint.py`` asserts that ``repro lint`` reports exactly
+these rule ids (once each) on this file.  The file sits outside the
+``repro`` package, so every rule group applies (FULL_SCOPE).  Never
+import this module -- it exists only to be linted.
+"""
+
+import random
+import time
+
+
+def wall_clock() -> float:
+    return time.time()  # REP001: wall-clock read
+
+
+def global_draw() -> float:
+    return random.random()  # REP002: global RNG draw
+
+
+def mutable_default(history=[]):  # REP003: mutable default argument
+    history.append(len(history))
+    return history
+
+
+def swallow_everything() -> None:
+    try:
+        wall_clock()
+    except:  # REP004: bare except
+        pass
+
+
+def same_priority(score: float, other_score: float) -> bool:
+    return score == other_score  # REP005: float == on scores
+
+
+def report(value: float) -> None:
+    print(value)  # REP006: print in library code

@@ -1,0 +1,372 @@
+"""Unit tests for the runtime invariant sanitizer (``repro.check.sanitize``).
+
+Each invariant gets a test that constructs a concretely violating state
+and asserts the raised :class:`InvariantViolation` names the culprit
+entity.  The headline acceptance case injects a GPU leak (load retained
+after a task left) and checks the violation identifies the leaking
+server.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.check.sanitize import (
+    InvariantViolation,
+    Sanitizer,
+    SanitizingCluster,
+    check_cluster_conservation,
+    check_dequeue_order,
+    check_queue_consistency,
+    check_snapshot_roundtrip,
+    engine_state_digest,
+    sanitize_from_env,
+)
+from repro.cluster import Cluster, ResourceVector
+from repro.sim import EngineConfig, Placement, Scheduler, SchedulerDecision, SimulationEngine
+from repro.workload import TaskState, build_jobs, generate_trace
+from tests.conftest import make_job
+
+
+class NeverPlace(Scheduler):
+    """Module-level (hence picklable) scheduler that places nothing."""
+
+    name = "never-place"
+
+    def on_schedule(self, ctx):
+        return SchedulerDecision()
+
+
+class FirstFit(Scheduler):
+    """Module-level (hence picklable) first-fit placing scheduler."""
+
+    name = "first-fit"
+
+    def on_schedule(self, ctx):
+        from repro.sim.shadow import ShadowCluster
+
+        decision = SchedulerDecision()
+        shadow = ShadowCluster(ctx.cluster)
+        for task in ctx.queue:
+            for server in ctx.cluster.servers:
+                if not shadow.would_overload(server, task.demand, 0.95):
+                    gpu = shadow.least_loaded_gpu(server)
+                    shadow.commit_placement(task, server.server_id, gpu)
+                    decision.placements.append(Placement(task, server.server_id, gpu))
+                    break
+        return decision
+
+
+def place(cluster: Cluster, task, server_id: int) -> None:
+    """Host a task on a server the way the engine does."""
+    server = cluster.server(server_id)
+    gpu = server.place_task(task)
+    task.mark_placed(0.0, server_id, gpu.gpu_id)
+
+
+def small_engine(
+    seed: int = 3, sanitize: bool = False, scheduler: Scheduler = None
+) -> SimulationEngine:  # repro-lint: disable=TYP001
+    records = generate_trace(3, duration_seconds=600.0, seed=seed)
+    jobs = build_jobs(records, seed=seed + 1)
+    cluster = Cluster.build(3, 4)
+    # Cap max_time: NeverPlace never drains, and a sanitized run audits
+    # every one of the default 60-day run's ~86k rounds.
+    config = EngineConfig(seed=seed, max_time=1800.0)
+    return SimulationEngine(
+        scheduler or NeverPlace(), jobs, cluster, config, sanitize=sanitize
+    )
+
+
+class TestResourceConservation:
+    def test_clean_cluster_passes(self):
+        cluster = Cluster.build(2, 4)
+        job = make_job(seed=5)
+        for task in job.tasks:
+            place(cluster, task, 0)
+        check_cluster_conservation(cluster)
+
+    def test_injected_gpu_leak_names_leaking_server(self):
+        # The acceptance scenario: server 1's ledger retains GPU load
+        # that no hosted task accounts for (a botched eviction).
+        cluster = Cluster.build(3, 4)
+        job = make_job(seed=5)
+        place(cluster, job.tasks[0], 1)
+        leaky = cluster.server(1)
+        leaky._load = leaky._load + ResourceVector(gpu=1.0)
+        with pytest.raises(InvariantViolation) as exc:
+            check_cluster_conservation(cluster)
+        violation = exc.value
+        assert violation.invariant == "resource-conservation"
+        assert violation.server_id == 1
+        assert violation.detail["resource"] == "gpu"
+        assert "server=1" in str(violation)
+
+    def test_gpu_device_leak_names_device(self):
+        cluster = Cluster.build(2, 4)
+        job = make_job(seed=5)
+        task = job.tasks[0]
+        place(cluster, task, 0)
+        gpu = cluster.server(0).gpus[task.gpu_id]
+        gpu._load += 0.5
+        with pytest.raises(InvariantViolation) as exc:
+            check_cluster_conservation(cluster)
+        assert exc.value.invariant == "resource-conservation"
+        assert exc.value.server_id == 0
+        assert exc.value.gpu_id == task.gpu_id
+
+    def test_double_free_detected(self):
+        # Removing a task twice would drive the ledger below the hosted
+        # sum; emulate by zeroing the ledger while the task stays.
+        cluster = Cluster.build(2, 4)
+        job = make_job(seed=5)
+        place(cluster, job.tasks[0], 0)
+        cluster.server(0)._load = ResourceVector.zeros()
+        with pytest.raises(InvariantViolation) as exc:
+            check_cluster_conservation(cluster)
+        assert exc.value.invariant == "resource-conservation"
+        assert exc.value.server_id == 0
+
+
+class TestPlacementConsistency:
+    def test_stale_back_pointer(self):
+        cluster = Cluster.build(2, 4)
+        job = make_job(seed=5)
+        task = job.tasks[0]
+        place(cluster, task, 0)
+        task.server_id = 1  # points at the wrong server
+        with pytest.raises(InvariantViolation) as exc:
+            check_cluster_conservation(cluster)
+        assert exc.value.invariant == "placement-consistency"
+        assert exc.value.task_id == task.task_id
+        assert exc.value.server_id == 0
+
+    def test_hosted_task_not_running(self):
+        cluster = Cluster.build(2, 4)
+        job = make_job(seed=5)
+        task = job.tasks[0]
+        place(cluster, task, 0)
+        task.state = TaskState.QUEUED
+        with pytest.raises(InvariantViolation) as exc:
+            check_cluster_conservation(cluster)
+        assert exc.value.invariant == "placement-consistency"
+        assert exc.value.task_id == task.task_id
+
+    def test_gpu_membership_mismatch(self):
+        cluster = Cluster.build(2, 4)
+        job = make_job(seed=5)
+        task = job.tasks[0]
+        place(cluster, task, 0)
+        gpu = cluster.server(0).gpus[task.gpu_id]
+        # The GPU forgets the task but the server still hosts it.
+        del gpu._tasks[task.task_id]
+        gpu._load = 0.0
+        with pytest.raises(InvariantViolation) as exc:
+            check_cluster_conservation(cluster)
+        assert exc.value.invariant == "placement-consistency"
+        assert exc.value.task_id == task.task_id
+
+
+class TestSanitizingCluster:
+    def test_build_and_verify(self):
+        cluster = SanitizingCluster.build(2, 4)
+        assert isinstance(cluster, SanitizingCluster)
+        job = make_job(seed=5)
+        place(cluster, job.tasks[0], 0)
+        cluster.verify()  # consistent state passes
+
+    def test_verify_raises_on_leak(self):
+        cluster = SanitizingCluster.build(2, 4)
+        cluster.server(1)._load = ResourceVector(gpu=0.25)
+        with pytest.raises(InvariantViolation) as exc:
+            cluster.verify(round_index=7)
+        assert exc.value.server_id == 1
+        assert exc.value.round_index == 7
+
+
+class TestQueueConsistency:
+    def advance_until_queued(self, engine: SimulationEngine) -> None:
+        engine.start()
+        while not engine.queue:
+            result = engine.step()
+            assert result.events_processed, "workload drained before any task queued"
+
+    def test_consistent_engine_passes(self):
+        engine = small_engine()
+        self.advance_until_queued(engine)
+        check_queue_consistency(engine)
+
+    def test_duplicate_queue_entry(self):
+        engine = small_engine()
+        self.advance_until_queued(engine)
+        engine.queue.append(engine.queue[0])
+        with pytest.raises(InvariantViolation) as exc:
+            check_queue_consistency(engine)
+        assert exc.value.invariant == "queue-consistency"
+        assert exc.value.task_id == engine.queue[0].task_id
+
+    def test_queued_and_placed_at_once(self):
+        engine = small_engine()
+        self.advance_until_queued(engine)
+        task = engine.queue[0]
+        task.server_id = 0
+        with pytest.raises(InvariantViolation) as exc:
+            check_queue_consistency(engine)
+        assert exc.value.invariant == "queue-consistency"
+        assert exc.value.task_id == task.task_id
+
+    def test_queued_task_of_dead_job(self):
+        engine = small_engine()
+        self.advance_until_queued(engine)
+        task = engine.queue[0]
+        engine.active_jobs.pop(task.job_id)
+        with pytest.raises(InvariantViolation) as exc:
+            check_queue_consistency(engine)
+        assert exc.value.invariant == "queue-consistency"
+        assert exc.value.job_id == task.job_id
+
+
+class TestDequeueOrder:
+    def scored_decision(self, order, scores) -> SchedulerDecision:
+        decision = SchedulerDecision()
+        decision.dequeue_order = list(order)
+        decision.dequeue_scores = dict(scores)
+        return decision
+
+    def test_empty_order_skipped(self):
+        check_dequeue_order(SchedulerDecision())  # FIFO-style: no-op
+
+    def test_valid_order_passes(self):
+        decision = self.scored_decision(
+            [("j1", "t1"), ("j1", "t2"), ("j2", "t3")],
+            {"t1": 5.0, "t2": 3.0, "t3": 4.0},
+        )
+        check_dequeue_order(decision)
+
+    def test_non_contiguous_job_group(self):
+        decision = self.scored_decision(
+            [("j1", "t1"), ("j2", "t2"), ("j1", "t3")],
+            {"t1": 5.0, "t2": 4.0, "t3": 3.0},
+        )
+        with pytest.raises(InvariantViolation) as exc:
+            check_dequeue_order(decision)
+        assert exc.value.invariant == "priority-order"
+        assert exc.value.job_id == "j1"
+
+    def test_score_increase_within_group(self):
+        decision = self.scored_decision(
+            [("j1", "t1"), ("j1", "t2")], {"t1": 1.0, "t2": 2.0}
+        )
+        with pytest.raises(InvariantViolation) as exc:
+            check_dequeue_order(decision)
+        assert exc.value.invariant == "priority-order"
+        assert exc.value.task_id == "t2"
+
+    def test_group_score_increase(self):
+        decision = self.scored_decision(
+            [("j1", "t1"), ("j2", "t2")], {"t1": 1.0, "t2": 2.0}
+        )
+        with pytest.raises(InvariantViolation) as exc:
+            check_dequeue_order(decision)
+        assert exc.value.invariant == "priority-order"
+        assert exc.value.job_id == "j2"
+
+    def test_placement_outside_declared_order(self):
+        job = make_job(seed=5)
+        task = job.tasks[0]
+        decision = self.scored_decision([("jx", "tx")], {"tx": 1.0})
+        decision.placements.append(Placement(task, 0, 0))
+        with pytest.raises(InvariantViolation) as exc:
+            check_dequeue_order(decision)
+        assert exc.value.invariant == "priority-order"
+        assert exc.value.task_id == task.task_id
+
+    def test_placements_follow_order(self):
+        job = make_job(seed=5)
+        tasks = job.tasks[:2]
+        order = [(t.job_id, t.task_id) for t in tasks]
+        scores = {t.task_id: 2.0 - i for i, t in enumerate(tasks)}
+        decision = self.scored_decision(order, scores)
+        decision.placements.extend(Placement(t, 0, i) for i, t in enumerate(tasks))
+        check_dequeue_order(decision)
+
+
+class TestSnapshotRoundtrip:
+    def test_picklable_engine_round_trips(self):
+        engine = small_engine()
+        engine.start()
+        engine.step()
+        assert check_snapshot_roundtrip(engine) is True
+
+    def test_unpicklable_engine_skipped(self):
+        engine = small_engine()
+        engine.scheduler.hook = lambda: None  # lambdas don't pickle
+        assert check_snapshot_roundtrip(engine) is False
+
+    def test_digest_equality_after_pickle(self):
+        engine = small_engine()
+        engine.start()
+        engine.step()
+        clone = pickle.loads(pickle.dumps(engine))
+        assert engine_state_digest(clone) == engine_state_digest(engine)
+
+
+class TestSanitizerDriver:
+    def test_engine_run_with_sanitizer_counts_rounds(self):
+        engine = small_engine(sanitize=True, scheduler=FirstFit())
+        assert isinstance(engine.sanitizer, Sanitizer)
+        engine.run()
+        assert engine.sanitizer.rounds_checked > 0
+        assert engine.sanitizer.violations_raised == 0
+
+    def test_check_round_raises_and_counts_on_leak(self):
+        engine = small_engine(sanitize=True)
+        engine.start()
+        engine.step()
+        engine.cluster.server(2)._load = ResourceVector(gpu=1.5)
+        with pytest.raises(InvariantViolation) as exc:
+            engine.sanitizer.check_round(engine)
+        assert exc.value.server_id == 2
+        assert engine.sanitizer.violations_raised == 1
+
+    def test_snapshot_throttle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE_SNAPSHOT_EVERY", "4")
+        assert Sanitizer().snapshot_every == 4
+
+    def test_env_switch(self, monkeypatch):
+        for value, expected in [
+            ("1", True),
+            ("true", True),
+            ("strict", True),
+            ("0", False),
+            ("", False),
+        ]:
+            monkeypatch.setenv("REPRO_SANITIZE", value)
+            assert sanitize_from_env() is expected
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert sanitize_from_env() is False
+
+    def test_env_switch_builds_engine_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert small_engine(sanitize=None).sanitizer is not None
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert small_engine(sanitize=None).sanitizer is None
+
+
+class TestInvariantViolation:
+    def test_carries_culprits_and_message(self):
+        violation = InvariantViolation(
+            "resource-conservation",
+            "leak of +1.0",
+            server_id=3,
+            gpu_id=1,
+            task_id="j1:r0p0",
+            round_index=12,
+        )
+        assert isinstance(violation, AssertionError)
+        assert violation.server_id == 3
+        text = str(violation)
+        assert "resource-conservation" in text
+        assert "server=3" in text and "gpu=1" in text and "round=12" in text

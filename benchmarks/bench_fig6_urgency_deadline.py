@@ -8,7 +8,7 @@ the deadline term ``γ_d / (d_k − t)`` in Eq. 4.
 
 from harness import ablation_figure, print_figure, run_config_sweep
 
-from repro.core import MLFSConfig, make_mlf_h
+from repro.api import SchedulerSpec
 
 
 def test_fig6_urgency_consideration(benchmark):
@@ -18,15 +18,11 @@ def test_fig6_urgency_consideration(benchmark):
         return {
             "w/ urgency": run_config_sweep(
                 "urgency-on",
-                lambda: make_mlf_h(
-                    MLFSConfig(use_urgency=True, enable_load_control=False)
-                ),
+                SchedulerSpec("MLF-H", config={"use_urgency": True}),
             ),
             "w/o urgency": run_config_sweep(
                 "urgency-off",
-                lambda: make_mlf_h(
-                    MLFSConfig(use_urgency=False, enable_load_control=False)
-                ),
+                SchedulerSpec("MLF-H", config={"use_urgency": False}),
             ),
         }
 
@@ -51,15 +47,11 @@ def test_fig6_deadline_consideration(benchmark):
         return {
             "w/ deadline": run_config_sweep(
                 "deadline-on",
-                lambda: make_mlf_h(
-                    MLFSConfig(use_deadline=True, enable_load_control=False)
-                ),
+                SchedulerSpec("MLF-H", config={"use_deadline": True}),
             ),
             "w/o deadline": run_config_sweep(
                 "deadline-off",
-                lambda: make_mlf_h(
-                    MLFSConfig(use_deadline=False, enable_load_control=False)
-                ),
+                SchedulerSpec("MLF-H", config={"use_deadline": False}),
             ),
         }
 

@@ -7,22 +7,18 @@ cost by 20–35%.  This bench compares MLF-H with and without the term.
 
 from harness import ablation_figure, print_figure, run_config_sweep
 
-from repro.core import MLFSConfig, make_mlf_h
+from repro.api import SchedulerSpec
 
 
 def _sweeps():
     return {
         "w/ bandwidth": run_config_sweep(
             "bw-on",
-            lambda: make_mlf_h(
-                MLFSConfig(use_bandwidth=True, enable_load_control=False)
-            ),
+            SchedulerSpec("MLF-H", config={"use_bandwidth": True}),
         ),
         "w/o bandwidth": run_config_sweep(
             "bw-off",
-            lambda: make_mlf_h(
-                MLFSConfig(use_bandwidth=False, enable_load_control=False)
-            ),
+            SchedulerSpec("MLF-H", config={"use_bandwidth": False}),
         ),
     }
 

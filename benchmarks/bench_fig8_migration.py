@@ -9,22 +9,18 @@ bandwidth.
 
 from harness import ablation_figure, print_figure, run_config_sweep
 
-from repro.core import MLFSConfig, make_mlf_h
+from repro.api import SchedulerSpec
 
 
 def _sweeps():
     return {
         "w/ migration": run_config_sweep(
             "mig-on",
-            lambda: make_mlf_h(
-                MLFSConfig(enable_migration=True, enable_load_control=False)
-            ),
+            SchedulerSpec("MLF-H", config={"enable_migration": True}),
         ),
         "w/o migration": run_config_sweep(
             "mig-off",
-            lambda: make_mlf_h(
-                MLFSConfig(enable_migration=False, enable_load_control=False)
-            ),
+            SchedulerSpec("MLF-H", config={"enable_migration": False}),
         ),
     }
 
@@ -46,7 +42,7 @@ def test_fig8a_bandwidth(benchmark):
     series = ablation_figure("Fig 8(a) bandwidth", "GB", "bandwidth_gb", sweeps)
     print_figure(series)
     top = max(series.xs())
-    migrations = run_config_sweep("mig-on", lambda: None)  # cached
+    migrations = run_config_sweep("mig-on", None)  # cached
     assert migrations[top]["migrations"] > 0
 
 

@@ -5,17 +5,20 @@ paper reports MLF-C improves the accuracy guarantee ratio by 17–23% and
 average JCT by 28–42% under overload.
 """
 
-from harness import ablation_figure, print_figure, run_config_sweep, trained_policy
+from harness import BENCH_PRETRAIN, ablation_figure, print_figure, run_config_sweep
 
-from repro.core import make_mlf_rl, make_mlfs
+from repro.api import SchedulerSpec
 
 
 def _sweeps():
-    policy = trained_policy()
     return {
         # Full MLFS = MLF-RL + MLF-C; the ablation removes only MLF-C.
-        "w/ MLF-C": run_config_sweep("mlfc-on", lambda: make_mlfs(policy)),
-        "w/o MLF-C": run_config_sweep("mlfc-off", lambda: make_mlf_rl(policy)),
+        "w/ MLF-C": run_config_sweep(
+            "mlfc-on", SchedulerSpec("MLFS", pretrain=BENCH_PRETRAIN)
+        ),
+        "w/o MLF-C": run_config_sweep(
+            "mlfc-off", SchedulerSpec("MLF-RL", pretrain=BENCH_PRETRAIN)
+        ),
     }
 
 

@@ -7,30 +7,21 @@ fraction ``p_s`` (Section 3.3.3), reporting average JCT and accuracy at
 one contended workload point.
 """
 
-from harness import ABLATION, BENCH_ENGINE, BENCH_WORKLOAD
+from harness import ABLATION
 
+from repro import api
 from repro.analysis import format_table
-from repro.core import MLFSConfig, PriorityWeights, make_mlf_h
-from repro.sim import SimulationSetup, run_simulation
-from repro.workload import generate_trace
 
 _JOBS = 80
 
 
-def _run(config: MLFSConfig) -> dict:
-    records = generate_trace(
+def _run(config: dict) -> dict:
+    spec = api.replace_path(
+        ABLATION.base_spec(api.SchedulerSpec("MLF-H", config=config)),
+        "workload.num_jobs",
         _JOBS,
-        duration_seconds=ABLATION.arrival_window_seconds,
-        seed=ABLATION.trace_seed,
     )
-    setup = SimulationSetup(
-        records=records,
-        cluster_factory=ABLATION.cluster_factory(),
-        workload_seed=ABLATION.workload_seed,
-        engine_config=BENCH_ENGINE,
-        workload_config=BENCH_WORKLOAD,
-    )
-    return run_simulation(make_mlf_h(config), setup).summary()
+    return api.run(spec)["summary"]
 
 
 def test_alpha_sensitivity(benchmark):
@@ -39,10 +30,7 @@ def test_alpha_sensitivity(benchmark):
     def run():
         rows = []
         for alpha in (0.0, 0.3, 0.7, 1.0):
-            config = MLFSConfig(
-                priority=PriorityWeights(alpha=alpha), enable_load_control=False
-            )
-            summary = _run(config)
+            summary = _run({"priority": {"alpha": alpha}})
             rows.append([alpha, summary["avg_jct_s"], summary["avg_accuracy"]])
         return rows
 
@@ -58,10 +46,7 @@ def test_gamma_sensitivity(benchmark):
     def run():
         rows = []
         for gamma in (0.2, 0.5, 0.8, 0.95):
-            config = MLFSConfig(
-                priority=PriorityWeights(gamma=gamma), enable_load_control=False
-            )
-            summary = _run(config)
+            summary = _run({"priority": {"gamma": gamma}})
             rows.append([gamma, summary["avg_jct_s"], summary["deadline_ratio"]])
         return rows
 
@@ -76,10 +61,7 @@ def test_ps_fraction_sensitivity(benchmark):
     def run():
         rows = []
         for ps in (0.05, 0.1, 0.3, 1.0):
-            config = MLFSConfig(
-                migration_candidate_fraction=ps, enable_load_control=False
-            )
-            summary = _run(config)
+            summary = _run({"migration_candidate_fraction": ps})
             rows.append([ps, summary["avg_jct_s"], summary["migrations"]])
         return rows
 
@@ -94,12 +76,9 @@ def test_overload_threshold_sensitivity(benchmark):
     def run():
         rows = []
         for hr in (0.7, 0.8, 0.9, 0.99):
-            config = MLFSConfig(
-                overload_threshold=hr,
-                system_overload_threshold=hr,
-                enable_load_control=False,
+            summary = _run(
+                {"overload_threshold": hr, "system_overload_threshold": hr}
             )
-            summary = _run(config)
             rows.append([hr, summary["avg_jct_s"], summary["overload_occurrences"]])
         return rows
 

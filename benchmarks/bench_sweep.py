@@ -1,0 +1,117 @@
+"""Sweep-engine wall-clock benchmark: serial vs process-parallel.
+
+Times the same Fig. 4-style grid twice through ``repro.api.sweep`` —
+once with ``workers=0`` (serial, in-process) and once with a worker
+pool — verifies the merged results are bit-identical, and writes
+``BENCH_sweep.json`` at the repo root so the perf trajectory is
+recorded next to the code.
+
+The grid is a trimmed slice of the ``REAL`` profile (cheap baseline
+schedulers, the two smallest job counts) so the double run stays in
+benchmark territory; override with::
+
+    REPRO_SWEEP_BENCH_JOBS=30,60,120 REPRO_SWEEP_BENCH_WORKERS=8 \
+        python benchmarks/bench_sweep.py
+
+Speedup is bounded by the physical core count — the JSON records
+``cpu_count`` so numbers from a 1-core CI runner are not mistaken for
+an engine regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import REAL  # noqa: E402
+
+from repro import api  # noqa: E402
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+#: Cheap, policy-free schedulers: the bench times the *engine*, not
+#: MLF-RL pretraining.
+BENCH_SCHEDULERS = ("TensorFlow", "Tiresias", "Gandiva", "FIFO")
+
+
+def _grid() -> api.Grid:
+    jobs_env = os.environ.get("REPRO_SWEEP_BENCH_JOBS", "30,60")
+    job_counts = [int(j) for j in jobs_env.split(",") if j.strip()]
+    base = REAL.base_spec(api.SchedulerSpec(BENCH_SCHEDULERS[0]))
+    return api.Grid(
+        base,
+        axes={
+            "scheduler": [api.SchedulerSpec(name) for name in BENCH_SCHEDULERS],
+            "workload.num_jobs": job_counts,
+        },
+    )
+
+
+def run_bench() -> dict:
+    """Time serial vs parallel execution of the same grid."""
+    grid = _grid()
+    workers = int(os.environ.get("REPRO_SWEEP_BENCH_WORKERS", "4"))
+
+    started = time.perf_counter()
+    serial = api.sweep(grid, workers=0)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = api.sweep(grid, workers=workers)
+    parallel_s = time.perf_counter() - started
+
+    identical = json.dumps(serial.merged(), sort_keys=True) == json.dumps(
+        parallel.merged(), sort_keys=True
+    )
+    report = {
+        "benchmark": "repro.exp sweep serial-vs-parallel",
+        "grid": {
+            "schedulers": list(BENCH_SCHEDULERS),
+            "job_counts": sorted({s.workload.num_jobs for s in grid.specs()}),
+            "shards": len(grid),
+            "profile": "real (Fig. 4 scale)",
+        },
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "workers": workers,
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "cpu_count": os.cpu_count(),
+        "bit_identical": identical,
+        "failed_shards": serial.stats["failed"] + parallel.stats["failed"],
+    }
+    return report
+
+
+def main() -> int:
+    report = run_bench()
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["bit_identical"] or report["failed_shards"]:
+        return 1
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.slow
+    def test_sweep_parallel_speedup():
+        """Serial and parallel sweeps agree; record the wall-clock ratio."""
+        report = run_bench()
+        OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        assert report["bit_identical"]
+        assert report["failed_shards"] == 0
+        assert report["serial_s"] > 0 and report["parallel_s"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

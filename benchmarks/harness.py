@@ -1,11 +1,14 @@
-"""Shared benchmark harness.
+"""Shared benchmark harness, built on the ``repro.api`` sweep engine.
 
 Every figure of the paper's evaluation is a set of per-scheduler series
 over a job-count sweep on a fixed cluster.  Re-simulating the sweep for
 each of the eight sub-figures would repeat identical work, so the
-harness runs each sweep **once per scale profile** and caches the
-results in-process; the per-figure benches extract their metric and
-print the series table.
+harness runs each sweep **once per scale profile** through
+:func:`repro.api.sweep` and caches the results in-process; the
+per-figure benches extract their metric and print the series table.
+Set ``REPRO_BENCH_WORKERS=N`` to fan the sweep's shards out over N
+worker processes (serial and parallel runs produce identical numbers —
+see the determinism contract in :mod:`repro.exp.runner`).
 
 Two profiles mirror the paper's two testbeds, scaled down so the full
 suite completes in minutes on a laptop:
@@ -23,31 +26,12 @@ are what the benches reproduce.  See EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
+from repro import api
 from repro.analysis import FigureSeries
-from repro.baselines import (
-    FairScheduler,
-    GandivaScheduler,
-    GrapheneScheduler,
-    HyperSchedScheduler,
-    RLScheduler,
-    SLAQScheduler,
-    TiresiasScheduler,
-)
-from repro.cluster import Cluster
-from repro.core import (
-    MLFSConfig,
-    TrainingSetup,
-    make_mlf_h,
-    make_mlf_rl,
-    make_mlfs,
-    train_mlf_rl_policy,
-)
-from repro.rl import ScoringPolicy
-from repro.sim import EngineConfig, SimulationSetup, run_simulation
-from repro.workload import WorkloadConfig, generate_trace
 
 #: Scheduler display order used in every table (paper legend order).
 SCHEDULER_ORDER = [
@@ -63,6 +47,33 @@ SCHEDULER_ORDER = [
     "RL",
 ]
 
+#: Deadline draw for the benches: tight enough (relative to the scaled
+#: job durations) that deadline/accuracy-by-deadline pressure is real.
+BENCH_DEADLINE_HOURS = (0.5, 6.0)
+
+BENCH_ENGINE = api.EngineConfig(max_time=14.0 * 24 * 3600.0)
+
+#: The MLF-RL imitation-training recipe (the runner memoizes the
+#: trained policy per process, keyed by this spec's digest).
+BENCH_PRETRAIN = api.PretrainSpec(
+    workload=api.WorkloadSpec(
+        num_jobs=60,
+        duration_hours=1.0,
+        trace_seed=7,
+        deadline_hours=BENCH_DEADLINE_HOURS,
+    ),
+    cluster=api.ClusterSpec(num_servers=6, gpus_per_server=4),
+    seed=8,
+    imitation_epochs=2,
+    config={"enable_load_control": False},
+    engine=BENCH_ENGINE,
+)
+
+
+def bench_workers() -> int:
+    """Sweep parallelism: ``REPRO_BENCH_WORKERS`` (default serial)."""
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
 
 @dataclass(frozen=True)
 class ScaleProfile:
@@ -76,8 +87,23 @@ class ScaleProfile:
     trace_seed: int
     workload_seed: int
 
-    def cluster_factory(self) -> Callable[[], Cluster]:
-        return lambda: Cluster.build(self.num_servers, self.gpus_per_server)
+    def base_spec(self, scheduler: api.SchedulerSpec) -> api.RunSpec:
+        """The profile's run spec at its smallest job count."""
+        return api.RunSpec(
+            scheduler=scheduler,
+            workload=api.WorkloadSpec(
+                num_jobs=self.job_counts[0],
+                duration_hours=self.arrival_window_seconds / 3600.0,
+                trace_seed=self.trace_seed,
+                deadline_hours=BENCH_DEADLINE_HOURS,
+            ),
+            cluster=api.ClusterSpec(
+                num_servers=self.num_servers,
+                gpus_per_server=self.gpus_per_server,
+            ),
+            engine=BENCH_ENGINE,
+            seed=self.workload_seed,
+        )
 
 
 #: Figure 4 scale (real experiments, 80-GPU cluster — scaled down).
@@ -102,52 +128,52 @@ SIM = ScaleProfile(
     workload_seed=404,
 )
 
-#: Deadline draw for the benches: tight enough (relative to the scaled
-#: job durations) that deadline/accuracy-by-deadline pressure is real.
-BENCH_WORKLOAD = WorkloadConfig(deadline_uniform_range_hours=(0.5, 6.0))
-
-BENCH_ENGINE = EngineConfig(max_time=14.0 * 24 * 3600.0)
-
-_POLICY: Optional[ScoringPolicy] = None
 _SWEEPS: dict[str, dict[str, dict[int, dict]]] = {}
 _CDFS: dict[str, dict[str, list[tuple[float, float]]]] = {}
 
 
-def trained_policy() -> ScoringPolicy:
-    """The MLF-RL policy, imitation-trained once per session."""
-    global _POLICY
-    if _POLICY is None:
-        records = generate_trace(60, duration_seconds=3600.0, seed=7)
-        setup = TrainingSetup(
-            records=records,
-            cluster_factory=lambda: Cluster.build(6, 4),
-            config=MLFSConfig(enable_load_control=False),
-            engine_config=BENCH_ENGINE,
-            workload_config=BENCH_WORKLOAD,
-            workload_seed=8,
-        )
-        _POLICY = train_mlf_rl_policy(setup, imitation_epochs=2)
-    return _POLICY
-
-
-def make_schedulers() -> list:
-    """Fresh instances of every scheduler in the comparison."""
-    policy = trained_policy()
+def scheduler_specs() -> list[api.SchedulerSpec]:
+    """Every scheduler in the comparison (paper legend order)."""
     return [
-        make_mlf_h(),
-        make_mlf_rl(policy),
-        make_mlfs(policy),
-        FairScheduler(),
-        TiresiasScheduler(),
-        SLAQScheduler(),
-        GandivaScheduler(),
-        GrapheneScheduler(),
-        HyperSchedScheduler(),
+        api.SchedulerSpec("MLF-H"),
+        api.SchedulerSpec("MLF-RL", pretrain=BENCH_PRETRAIN),
+        api.SchedulerSpec("MLFS", pretrain=BENCH_PRETRAIN),
+        api.SchedulerSpec("TensorFlow"),
+        api.SchedulerSpec("Tiresias"),
+        api.SchedulerSpec("SLAQ"),
+        api.SchedulerSpec("Gandiva"),
+        api.SchedulerSpec("Graphene"),
+        api.SchedulerSpec("HyperSched"),
         # The RL baseline learns placement without ML features; giving
         # it the MLF-H-imitating policy would make it MLF-RL in
         # disguise, so it runs with its own (least-loaded) policy.
-        RLScheduler(),
+        api.SchedulerSpec("RL"),
     ]
+
+
+def _raise_failures(result: api.SweepResult) -> None:
+    """Benches fail loudly: surface the first crashed shard."""
+    failures = result.failures()
+    if failures:
+        error = failures[0]["error"]
+        raise RuntimeError(
+            f"{len(failures)} sweep shard(s) failed; first: "
+            f"{error['type']}: {error['message']}"
+        )
+
+
+def _summary_of(record: api.RunRecord, result: api.SweepResult) -> dict:
+    """Flatten one run record into the per-point summary dict.
+
+    ``overhead_ms`` lives in the sweep's non-deterministic ``measured``
+    side-channel (it is a wall-clock observation); fold it back in for
+    the Figure 4(h)/5(h) tables.
+    """
+    summary = dict(record["summary"])
+    measured = result.measured.get(record["digest"], {})
+    summary["overhead_ms"] = measured.get("overhead_ms", 0.0)
+    summary["urgent_deadline_ratio"] = record["urgent_deadline_ratio"]
+    return summary
 
 
 def run_sweep(profile: ScaleProfile) -> dict[str, dict[int, dict]]:
@@ -158,27 +184,24 @@ def run_sweep(profile: ScaleProfile) -> dict[str, dict[int, dict]]:
     """
     if profile.name in _SWEEPS:
         return _SWEEPS[profile.name]
+    grid = api.Grid(
+        profile.base_spec(scheduler_specs()[0]),
+        axes={
+            "scheduler": scheduler_specs(),
+            "workload.num_jobs": list(profile.job_counts),
+        },
+    )
+    result = api.sweep(grid, workers=bench_workers())
+    _raise_failures(result)
     sweep: dict[str, dict[int, dict]] = {}
     cdfs: dict[str, list[tuple[float, float]]] = {}
     max_jobs = max(profile.job_counts)
-    for num_jobs in profile.job_counts:
-        records = generate_trace(
-            num_jobs,
-            duration_seconds=profile.arrival_window_seconds,
-            seed=profile.trace_seed,
-        )
-        for scheduler in make_schedulers():
-            setup = SimulationSetup(
-                records=records,
-                cluster_factory=profile.cluster_factory(),
-                workload_seed=profile.workload_seed,
-                engine_config=BENCH_ENGINE,
-                workload_config=BENCH_WORKLOAD,
-            )
-            result = run_simulation(scheduler, setup)
-            sweep.setdefault(scheduler.name, {})[num_jobs] = result.summary()
-            if num_jobs == max_jobs:
-                cdfs[scheduler.name] = result.metrics.jct_cdf()
+    for record in result.ok():
+        name = record["scheduler"]
+        num_jobs = record["spec"]["workload"]["num_jobs"]
+        sweep.setdefault(name, {})[num_jobs] = _summary_of(record, result)
+        if num_jobs == max_jobs:
+            cdfs[name] = [(value, frac) for value, frac in record["jct_cdf"]]
     _SWEEPS[profile.name] = sweep
     _CDFS[profile.name] = cdfs
     return sweep
@@ -201,7 +224,7 @@ _CONFIG_SWEEPS: dict[str, dict[int, dict]] = {}
 
 def run_config_sweep(
     label: str,
-    scheduler_factory: Callable[[], object],
+    scheduler: Optional[api.SchedulerSpec],
     profile: ScaleProfile = ABLATION,
 ) -> dict[int, dict]:
     """Sweep one scheduler configuration over a profile (cached).
@@ -209,28 +232,23 @@ def run_config_sweep(
     Used by the ablation benches (Figures 6–9): each configuration —
     e.g. MLF-H with and without the urgency coefficient — is one label.
     The per-point dict is the metrics summary plus the urgent-job
-    deadline ratio needed by Figure 6.
+    deadline ratio needed by Figure 6.  ``scheduler=None`` only reads
+    an already-cached label.
     """
     if label in _CONFIG_SWEEPS:
         return _CONFIG_SWEEPS[label]
+    if scheduler is None:
+        raise KeyError(f"config sweep {label!r} has not been run yet")
+    grid = api.Grid(
+        profile.base_spec(scheduler),
+        axes={"workload.num_jobs": list(profile.job_counts)},
+    )
+    result = api.sweep(grid, workers=bench_workers())
+    _raise_failures(result)
     results: dict[int, dict] = {}
-    for num_jobs in profile.job_counts:
-        records = generate_trace(
-            num_jobs,
-            duration_seconds=profile.arrival_window_seconds,
-            seed=profile.trace_seed,
-        )
-        setup = SimulationSetup(
-            records=records,
-            cluster_factory=profile.cluster_factory(),
-            workload_seed=profile.workload_seed,
-            engine_config=BENCH_ENGINE,
-            workload_config=BENCH_WORKLOAD,
-        )
-        result = run_simulation(scheduler_factory(), setup)
-        summary = result.summary()
-        summary["urgent_deadline_ratio"] = result.metrics.urgent_deadline_ratio(8)
-        results[num_jobs] = summary
+    for record in result.ok():
+        num_jobs = record["spec"]["workload"]["num_jobs"]
+        results[num_jobs] = _summary_of(record, result)
     _CONFIG_SWEEPS[label] = results
     return results
 

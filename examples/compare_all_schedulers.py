@@ -2,57 +2,59 @@
 """Reproduce a slice of the paper's Figure 4 comparison interactively.
 
 Runs all ten schedulers (the MLFS family plus the seven published
-baselines) on one contended workload and prints the full metric table,
-ranked by average JCT.
+baselines) on one contended workload through the ``repro.api`` sweep
+engine and prints the full metric table, ranked by average JCT.
 
 Run:  python examples/compare_all_schedulers.py [num_jobs] [num_servers]
+      REPRO_WORKERS=4 python examples/compare_all_schedulers.py
 """
 
+import os
 import sys
 
+from repro import api
 from repro.analysis import format_table
-from repro.baselines import (
-    FairScheduler,
-    GandivaScheduler,
-    GrapheneScheduler,
-    HyperSchedScheduler,
-    RLScheduler,
-    SLAQScheduler,
-    TiresiasScheduler,
-)
-from repro.cluster import Cluster
-from repro.core import make_mlf_h, make_mlf_rl, make_mlfs
-from repro.sim import EngineConfig, SimulationSetup, run_comparison
-from repro.workload import WorkloadConfig, generate_trace
+
+SCHEDULERS = [
+    "MLFS",
+    "MLF-RL",
+    "MLF-H",
+    "Graphene",
+    "Tiresias",
+    "HyperSched",
+    "RL",
+    "Gandiva",
+    "TensorFlow",
+    "SLAQ",
+]
 
 
 def main() -> None:
     num_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 100
     num_servers = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    workers = int(os.environ.get("REPRO_WORKERS", "0"))
 
-    records = generate_trace(num_jobs, duration_seconds=2 * 3600.0, seed=3)
-    setup = SimulationSetup(
-        records=records,
-        cluster_factory=lambda: Cluster.build(num_servers, 4),
-        workload_seed=4,
-        engine_config=EngineConfig(),
-        workload_config=WorkloadConfig(deadline_uniform_range_hours=(0.5, 6.0)),
+    base = api.RunSpec(
+        scheduler=api.SchedulerSpec(SCHEDULERS[0]),
+        workload=api.WorkloadSpec(
+            num_jobs=num_jobs,
+            duration_hours=2.0,
+            trace_seed=3,
+            deadline_hours=(0.5, 6.0),
+        ),
+        cluster=api.ClusterSpec(num_servers=num_servers, gpus_per_server=4),
+        seed=4,
     )
-    schedulers = [
-        make_mlfs(),
-        make_mlf_rl(),
-        make_mlf_h(),
-        GrapheneScheduler(),
-        TiresiasScheduler(),
-        HyperSchedScheduler(),
-        RLScheduler(),
-        GandivaScheduler(),
-        FairScheduler(),
-        SLAQScheduler(),
-    ]
-    print(f"running {len(schedulers)} schedulers × {num_jobs} jobs "
-          f"on {num_servers} servers ({num_servers * 4} GPUs)…")
-    results = run_comparison(schedulers, setup)
+    grid = api.Grid(
+        base, axes={"scheduler": [api.SchedulerSpec(name) for name in SCHEDULERS]}
+    )
+    print(
+        f"running {len(grid)} schedulers × {num_jobs} jobs "
+        f"on {num_servers} servers ({num_servers * 4} GPUs)…"
+    )
+    result = api.sweep(grid, workers=workers)
+    for failure in result.failures():
+        print(f"FAILED {failure['scheduler']}: {failure['error']['message']}")
 
     keys = [
         "avg_jct_s",
@@ -66,8 +68,18 @@ def main() -> None:
     ]
     rows = sorted(
         (
-            [name] + [round(result.summary()[k], 2) for k in keys]
-            for name, result in results.items()
+            [record["scheduler"]]
+            + [
+                round(
+                    {
+                        **record["summary"],
+                        **result.measured.get(record["digest"], {}),
+                    }.get(k, 0.0),
+                    2,
+                )
+                for k in keys
+            ]
+            for record in result.ok()
         ),
         key=lambda row: row[1],
     )

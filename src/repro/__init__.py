@@ -8,6 +8,9 @@ trace-driven discrete-event simulator, learning-curve predictors, a
 NumPy RL stack) and the seven comparison schedulers of its evaluation.
 """
 
+# Deprecated import surface: prefer ``from repro import api`` — the
+# supported public API (run/sweep/specs) lives in :mod:`repro.api`.
+
 from repro.cluster import Cluster, ResourceKind, ResourceVector, Server
 from repro.core import (
     MLFSConfig,

@@ -1,0 +1,107 @@
+"""repro.api — the supported public surface of the repro package.
+
+One import site for everything a user of the toolkit needs::
+
+    from repro import api
+
+    spec = api.RunSpec(
+        scheduler=api.SchedulerSpec("MLF-H"),
+        workload=api.WorkloadSpec(num_jobs=120, duration_hours=2.0),
+        cluster=api.ClusterSpec(num_servers=6),
+    )
+    record = api.run(spec)                       # one simulation
+    grid = api.Grid(spec, axes={"seed": [0, 1, 2]})
+    result = api.sweep(grid, workers=4)          # parallel sweep
+    api.save_results(result, "sweep.json")
+
+Everything re-exported here is the stable surface; reaching into
+submodules (``repro.sim``, ``repro.core``, ...) still works but is an
+implementation detail that may move between releases.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Union
+
+from repro.core.config import MLFSConfig, PriorityWeights, RewardWeights
+from repro.exp.grid import Grid
+from repro.exp.io import load_results, save_results
+from repro.exp.runner import (
+    RunRecord,
+    SweepProgress,
+    SweepResult,
+    SweepRunner,
+    default_workers,
+    execute_spec,
+)
+from repro.exp.spec import (
+    ClusterSpec,
+    PretrainSpec,
+    RunSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+    replace_path,
+)
+from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
+from repro.schedulers import SCHEDULER_FACTORIES, build_scheduler
+from repro.sim.engine import EngineConfig
+from repro.sim.interface import Scheduler, SchedulerDecision, SchedulingContext
+from repro.workload.generator import WorkloadConfig
+
+__all__ = [
+    "ClusterSpec",
+    "EngineConfig",
+    "Grid",
+    "MLFSConfig",
+    "PretrainSpec",
+    "PriorityWeights",
+    "RewardWeights",
+    "RunRecord",
+    "RunSpec",
+    "SCHEDULER_FACTORIES",
+    "Scheduler",
+    "SchedulerDecision",
+    "SchedulerSpec",
+    "SchedulingContext",
+    "SweepProgress",
+    "SweepResult",
+    "SweepRunner",
+    "WorkloadConfig",
+    "WorkloadSpec",
+    "build_scheduler",
+    "default_workers",
+    "load_results",
+    "replace_path",
+    "run",
+    "save_results",
+    "sweep",
+]
+
+
+def run(spec: RunSpec) -> RunRecord:
+    """Execute one spec's simulation; returns its JSON-ready record."""
+    return execute_spec(spec)
+
+
+def sweep(
+    grid: Union[Grid, Iterable[RunSpec]],
+    workers: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    observer: Union[Observer, NullObserver] = NULL_OBSERVER,
+    on_progress: Optional[Callable[[SweepProgress], None]] = None,
+) -> SweepResult:
+    """Execute a grid of specs, optionally in parallel and cached.
+
+    ``workers=0`` runs serially in-process; ``workers=N`` uses a pool
+    of N worker processes; ``None`` picks :func:`default_workers`.
+    Serial and parallel sweeps of the same grid produce bit-identical
+    merged results; see :mod:`repro.exp.runner` for the full contract.
+    """
+    runner = SweepRunner(
+        workers=workers,
+        cache_dir=cache_dir,
+        observer=observer,
+        on_progress=on_progress,
+    )
+    return runner.run(grid)

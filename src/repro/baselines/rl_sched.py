@@ -25,7 +25,7 @@ from repro.sim.interface import (
     SchedulingContext,
 )
 from repro.sim.shadow import ShadowCluster
-from repro.workload.job import Task
+from repro.workload.job import Job, Task
 
 
 @dataclass
@@ -41,12 +41,20 @@ class RLScheduler(Scheduler):
 
     policy: Optional[ScoringPolicy] = None
     name: str = "RL"
+    comm_index: TaskCommIndex = field(init=False)
     featurizer: StateFeaturizer = field(init=False)
 
     def __post_init__(self) -> None:
-        self.featurizer = StateFeaturizer(comm_index=TaskCommIndex())
+        self.comm_index = TaskCommIndex()
+        self.featurizer = StateFeaturizer(comm_index=self.comm_index)
         if self.policy is not None and self.policy.feature_size != FEATURE_SIZE:
             raise ValueError("policy feature size mismatch")
+
+    def on_job_complete(self, job: Job, now: float) -> None:
+        # Drop the job's cached peer links; without this the index grows
+        # for every job ever seen, leaking across long sweeps and the
+        # service daemon's unbounded job stream.
+        self.comm_index.forget(job)
 
     def on_schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
         decision = SchedulerDecision()

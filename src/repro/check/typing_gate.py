@@ -39,7 +39,8 @@ __all__ = [
 ]
 
 #: Packages held to the strict standard (mirrors ``pyproject.toml``).
-STRICT_PACKAGES = ("core", "cluster", "check")
+#: Entries may name a package directory or a single module file.
+STRICT_PACKAGES = ("core", "cluster", "check", "exp", "api.py")
 
 #: Rule id used by the annotation gate (suppressible like lint rules).
 RULE_ID = "TYP001"

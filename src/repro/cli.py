@@ -10,6 +10,7 @@ Commands
 ``submit``   Submit one job to a running daemon.
 ``ctl``      Control a running daemon (status/metrics/drain/cancel/...).
 ``report``   Render a telemetry JSONL file as summary tables.
+``sweep``    Run a (possibly parallel) experiment sweep via ``repro.api``.
 ``lint``     Run the repo-specific determinism/hygiene lint.
 ``typecheck`` Run the strict-typing gate (mypy or the AST fallback).
 
@@ -27,6 +28,9 @@ Examples
     python -m repro ctl --socket /tmp/repro.sock metrics --format prom
     python -m repro ctl --socket /tmp/repro.sock history job-0001
     python -m repro report telemetry.jsonl
+    python -m repro sweep --schedulers MLF-H,Tiresias --seeds 0,1 \
+        --jobs 60 --workers 2 --out sweep.json
+    python -m repro sweep --grid grid.json --workers 4 --cache-dir .sweep-cache
     python -m repro lint src --format json
     python -m repro typecheck
 """
@@ -168,6 +172,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "--no-rounds", action="store_true", help="only print the summary table"
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run an experiment sweep (repro.api.sweep)"
+    )
+    p_sweep.add_argument(
+        "--grid", default=None, help="JSON grid file (repro.exp.Grid.to_json)"
+    )
+    p_sweep.add_argument(
+        "--schedulers",
+        default="MLF-H",
+        help="comma-separated scheduler names (ignored with --grid)",
+    )
+    p_sweep.add_argument(
+        "--seeds", default="0", help="comma-separated engine seeds (ignored with --grid)"
+    )
+    p_sweep.add_argument(
+        "--jobs",
+        default="100",
+        help="comma-separated workload sizes (ignored with --grid)",
+    )
+    p_sweep.add_argument("--servers", type=int, default=8)
+    p_sweep.add_argument("--gpus-per-server", type=int, default=4)
+    p_sweep.add_argument("--hours", type=float, default=2.0)
+    p_sweep.add_argument("--trace-seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--deadline-hours", default=None, help="LO,HI uniform deadline range"
+    )
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="0 = serial; default = cpu_count() - 1",
+    )
+    p_sweep.add_argument("--cache-dir", default=None, help="per-shard result cache")
+    p_sweep.add_argument("--out", default=None, help="write merged results JSON here")
+    p_sweep.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines on stderr"
     )
 
     p_lint = sub.add_parser(
@@ -350,6 +392,78 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _sweep_grid_from_args(args):
+    """Build the sweep grid: from a JSON file or the inline flags."""
+    from repro import api
+    from repro.exp.grid import Grid
+
+    if args.grid:
+        with open(args.grid) as handle:
+            return Grid.from_json(json.load(handle))
+    schedulers = [n.strip() for n in args.schedulers.split(",") if n.strip()]
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    jobs = [int(j) for j in args.jobs.split(",") if j.strip()]
+    if not (schedulers and seeds and jobs):
+        raise SystemExit("sweep needs at least one scheduler, seed and job count")
+    workload_kwargs = {
+        "duration_hours": args.hours,
+        "trace_seed": args.trace_seed,
+    }
+    if args.deadline_hours:
+        low, high = (float(v) for v in args.deadline_hours.split(","))
+        workload_kwargs["deadline_hours"] = (low, high)
+    base = api.RunSpec(
+        scheduler=api.SchedulerSpec(schedulers[0]),
+        workload=api.WorkloadSpec(num_jobs=jobs[0], **workload_kwargs),
+        cluster=api.ClusterSpec(
+            num_servers=args.servers, gpus_per_server=args.gpus_per_server
+        ),
+    )
+    axes = {
+        "scheduler": [api.SchedulerSpec(name) for name in schedulers],
+        "workload.num_jobs": jobs,
+        "seed": seeds,
+    }
+    return Grid(base, axes={k: v for k, v in axes.items() if len(v) > 0})
+
+
+def cmd_sweep(args) -> int:
+    """Run an experiment sweep; exit 2 when any shard failed."""
+    from repro import api
+
+    grid = _sweep_grid_from_args(args)
+
+    def progress(update) -> None:
+        eta = f", eta {update.eta_seconds:.0f}s" if update.eta_seconds else ""
+        print(
+            f"[{update.done}/{update.total}] {update.label}"
+            f" (cached {update.cached}, failed {update.failed}{eta})",
+            file=sys.stderr,
+        )
+
+    try:
+        result = api.sweep(
+            grid,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            on_progress=None if args.quiet else progress,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.out:
+        api.save_results(result, args.out)
+        print(f"wrote {args.out}")
+    else:
+        print(json.dumps(result.merged(), indent=2))
+    stats = result.stats
+    print(
+        f"shards={stats['shards']} executed={stats['executed']}"
+        f" cached={stats['cached']} failed={stats['failed']}",
+        file=sys.stderr,
+    )
+    return 2 if stats["failed"] else 0
+
+
 def cmd_lint(args) -> int:
     """Run the repo-specific lint over the given paths."""
     from repro.check import lint
@@ -378,6 +492,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "submit": cmd_submit,
         "ctl": cmd_ctl,
         "report": cmd_report,
+        "sweep": cmd_sweep,
         "lint": cmd_lint,
         "typecheck": cmd_typecheck,
     }

@@ -42,6 +42,11 @@ class TaskCommIndex:
     For task ``k`` the index stores ``[(peer_task, volume_mb), ...]``
     across dependency edges and sync links, enabling O(peers) queries of
     the task↔server communication volume.
+
+    The cache is built lazily per job and must be **invalidated on job
+    completion** via :meth:`forget` (every scheduler holding an index
+    calls it from ``on_job_complete``) — otherwise long sweeps and the
+    service daemon's unbounded job stream grow it without bound.
     """
 
     _peers: dict[str, list[tuple[Task, float]]] = field(default_factory=dict)
@@ -76,6 +81,10 @@ class TaskCommIndex:
             for task in job.tasks:
                 self._peers.pop(task.task_id, None)
             self._indexed_jobs.discard(job.job_id)
+
+    def __len__(self) -> int:
+        """Number of jobs currently indexed (leak checks in tests)."""
+        return len(self._indexed_jobs)
 
 
 @dataclass

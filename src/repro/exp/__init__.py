@@ -1,0 +1,50 @@
+"""repro.exp — the declarative, process-parallel experiment engine.
+
+Specs (:mod:`repro.exp.spec`) describe simulations; grids
+(:mod:`repro.exp.grid`) expand cartesian products of them; the runner
+(:mod:`repro.exp.runner`) executes them — serially or across a process
+pool — with per-shard caching, structured failure isolation and
+deterministic digest-keyed merging; :mod:`repro.exp.io` persists the
+results.  Prefer importing through :mod:`repro.api`, the supported
+public façade.
+"""
+
+from repro.exp.grid import Grid
+from repro.exp.io import RESULTS_FORMAT, load_results, save_results
+from repro.exp.runner import (
+    RunRecord,
+    SweepProgress,
+    SweepResult,
+    SweepRunner,
+    default_workers,
+    execute_spec,
+)
+from repro.exp.spec import (
+    SPEC_FORMAT,
+    ClusterSpec,
+    PretrainSpec,
+    RunSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+    replace_path,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "Grid",
+    "PretrainSpec",
+    "RESULTS_FORMAT",
+    "RunRecord",
+    "RunSpec",
+    "SPEC_FORMAT",
+    "SchedulerSpec",
+    "SweepProgress",
+    "SweepResult",
+    "SweepRunner",
+    "WorkloadSpec",
+    "default_workers",
+    "execute_spec",
+    "load_results",
+    "replace_path",
+    "save_results",
+]

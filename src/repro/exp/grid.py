@@ -1,0 +1,106 @@
+"""Cartesian experiment grids.
+
+A :class:`Grid` is a base :class:`~repro.exp.spec.RunSpec` plus a set
+of axes — dotted field paths mapped to the values they sweep over.  The
+paper's Figure 4, for instance, is::
+
+    Grid(
+        base=RunSpec(scheduler=SchedulerSpec("MLF-H"), ...),
+        axes={
+            "scheduler": [SchedulerSpec("MLF-H"), SchedulerSpec("Tiresias"), ...],
+            "workload.num_jobs": [30, 60, 120, 240],
+        },
+    )
+
+Expansion order is deterministic: axes iterate in insertion order, the
+last axis varying fastest (:func:`itertools.product` semantics), so the
+same grid always yields the same spec list — the foundation of the
+sweep engine's reproducible, order-independent merges.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.exp.spec import (
+    ClusterSpec,
+    RunSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+    engine_config_from_json,
+    engine_config_to_json,
+    replace_path,
+)
+
+__all__ = ["Grid"]
+
+#: Top-level spec fields whose axis values may be given as JSON
+#: mappings (deserialized through the matching ``from_json``).
+_SUBSPEC_CODECS = {
+    "scheduler": SchedulerSpec.from_json,
+    "workload": WorkloadSpec.from_json,
+    "cluster": ClusterSpec.from_json,
+    "engine": engine_config_from_json,
+}
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A declarative cartesian product of run specs."""
+
+    base: RunSpec
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for path, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {path!r} has no values")
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def specs(self) -> list[RunSpec]:
+        """Expand the grid into its spec list (deterministic order)."""
+        return list(self)
+
+    def __iter__(self) -> Iterator[RunSpec]:
+        paths = list(self.axes)
+        for combo in itertools.product(*(self.axes[p] for p in paths)):
+            spec = self.base
+            for path, value in zip(paths, combo):
+                spec = replace_path(spec, path, value)
+            yield spec
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready representation (axis sub-specs serialized)."""
+        axes: dict[str, list[Any]] = {}
+        for path, values in self.axes.items():
+            out: list[Any] = []
+            for value in values:
+                if hasattr(value, "to_json"):
+                    out.append(value.to_json())
+                elif path == "engine":
+                    out.append(engine_config_to_json(value))
+                elif isinstance(value, tuple):
+                    out.append(list(value))
+                else:
+                    out.append(value)
+            axes[path] = out
+        return {"base": self.base.to_json(), "axes": axes}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "Grid":
+        """Rebuild a grid from its JSON form (e.g. ``--grid`` files)."""
+        axes: dict[str, list[Any]] = {}
+        for path, values in data.get("axes", {}).items():
+            codec = _SUBSPEC_CODECS.get(path)
+            if codec is not None:
+                axes[path] = [codec(v) for v in values]
+            else:
+                axes[path] = list(values)
+        return cls(base=RunSpec.from_json(data["base"]), axes=axes)

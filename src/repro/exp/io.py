@@ -1,0 +1,49 @@
+"""Sweep result persistence.
+
+One sweep → one JSON document: ``{"format": ..., "results": [...]}``
+with records in grid order.  The document contains only deterministic
+content (no wall-clock, no worker counts), so the same grid produces a
+byte-identical file whether it ran serially, in parallel, or partially
+from cache — which makes result files diffable across machines and
+safe to commit as regression anchors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence, Union
+
+from repro.exp.runner import RunRecord, SweepResult
+
+__all__ = ["RESULTS_FORMAT", "load_results", "save_results"]
+
+#: Format tag of the persisted result document.
+RESULTS_FORMAT = "repro.exp.sweep/1"
+
+
+def save_results(
+    result: Union[SweepResult, Sequence[RunRecord]], path: Union[str, Path]
+) -> Path:
+    """Write a sweep's merged results to ``path``; returns the path."""
+    records = list(result.records) if isinstance(result, SweepResult) else list(result)
+    document = {"format": RESULTS_FORMAT, "results": records}
+    out = Path(path)
+    if out.parent != Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return out
+
+
+def load_results(path: Union[str, Path]) -> SweepResult:
+    """Read a result document back into a :class:`SweepResult`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        document: dict[str, Any] = json.load(handle)
+    fmt = document.get("format")
+    if fmt != RESULTS_FORMAT:
+        raise ValueError(
+            f"unsupported results format {fmt!r} (want {RESULTS_FORMAT!r})"
+        )
+    return SweepResult(records=list(document["results"]))

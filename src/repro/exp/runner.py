@@ -1,0 +1,463 @@
+"""The process-parallel sweep engine.
+
+:func:`execute_spec` turns one :class:`~repro.exp.spec.RunSpec` into a
+*run record* — a JSON-ready dict holding the spec, its digest and the
+simulation's headline metrics.  :class:`SweepRunner` executes many
+specs, fanning shards out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Contracts the engine guarantees (exercised by ``tests/test_exp.py``):
+
+* **Determinism under parallelism** — results are keyed and merged by
+  spec digest in grid order, never by completion order, and records
+  contain no wall-clock fields, so ``workers=0`` (serial, in-process)
+  and ``workers=N`` produce bit-identical merged results.
+* **Shard caching / resume** — with a ``cache_dir``, each successful
+  record is persisted as ``<digest>.json``; a re-run (after an
+  interrupt, or with a grown grid) loads finished shards instead of
+  recomputing them.  Failed shards are never cached, so resumes retry
+  them.
+* **Failure isolation** — a crashing shard yields a structured error
+  record (exception type, message, traceback); the sweep completes and
+  reports the failure instead of aborting.
+* **Progress/ETA** — shard completions feed the ``repro.obs`` observer
+  (``repro_sweep_*`` counters/gauges plus per-shard timeline events)
+  and an optional ``on_progress`` callback.
+
+Policies for MLF-RL/MLFS shards are imitation-trained on demand and
+memoized **per process** by pretrain-spec digest: training is fully
+seeded, so every worker derives the identical policy and parallel
+sweeps stay bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Union
+
+from repro.core.train import TrainingSetup, train_mlf_rl_policy
+from repro.exp.grid import Grid
+from repro.exp.spec import PretrainSpec, RunSpec
+from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
+from repro.rl.policy import ScoringPolicy
+from repro.schedulers import build_scheduler, mlfs_config_from_mapping
+from repro.sim.engine import SimulationEngine
+from repro.workload.generator import build_jobs
+
+__all__ = [
+    "RunRecord",
+    "SweepProgress",
+    "SweepResult",
+    "SweepRunner",
+    "default_workers",
+    "execute_spec",
+]
+
+#: A run record: the JSON-ready outcome of one spec's simulation.
+RunRecord = dict[str, Any]
+
+AnyObserver = Union[Observer, NullObserver]
+ProgressFn = Callable[["SweepProgress"], None]
+
+
+def default_workers() -> int:
+    """Default pool size: every core but one, at least one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+# -- policy pretraining (memoized per process) -----------------------------
+
+_POLICY_CACHE: dict[str, ScoringPolicy] = {}
+
+
+def policy_for(pretrain: PretrainSpec) -> ScoringPolicy:
+    """Train (or fetch) the scoring policy a pretrain spec describes.
+
+    Training is fully seeded — trace generation, job building, the
+    imitation buffer and the policy initialisation all derive from the
+    spec — so the same spec yields the same policy in every process.
+    """
+    key = pretrain.digest()
+    policy = _POLICY_CACHE.get(key)
+    if policy is None:
+        setup = TrainingSetup(
+            records=pretrain.workload.records(),
+            cluster_factory=pretrain.cluster.build,
+            config=mlfs_config_from_mapping(pretrain.config),
+            engine_config=pretrain.engine,
+            workload_config=pretrain.workload.workload_config(),
+            workload_seed=pretrain.seed,
+        )
+        policy = train_mlf_rl_policy(setup, imitation_epochs=pretrain.imitation_epochs)
+        _POLICY_CACHE[key] = policy
+    return policy
+
+
+# -- single-spec execution -------------------------------------------------
+
+
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """Run one spec's simulation and return its (successful) record.
+
+    Raises whatever the simulation raises; :func:`run_shard` wraps this
+    with the structured-error envelope used inside sweeps.
+    """
+    policy = (
+        policy_for(spec.scheduler.pretrain)
+        if spec.scheduler.pretrain is not None
+        else None
+    )
+    scheduler = build_scheduler(
+        spec.scheduler.name, spec.scheduler.config or None, policy=policy
+    )
+    jobs = build_jobs(
+        spec.workload.records(),
+        seed=spec.seed,
+        config=spec.workload.workload_config(),
+    )
+    engine = SimulationEngine(
+        scheduler=scheduler,
+        jobs=jobs,
+        cluster=spec.cluster.build(),
+        config=spec.engine,
+    )
+    metrics = engine.run()
+    summary = metrics.summary()
+    # Scheduling overhead is a wall-clock *observation* of this host, not
+    # a property of the schedule: it goes into the non-deterministic
+    # "measured" side-channel (stripped from merged/cached results) so
+    # serial and parallel sweeps stay bit-identical.
+    overhead_ms = summary.pop("overhead_ms", 0.0)
+    return {
+        "digest": spec.digest(),
+        "spec": spec.to_json(),
+        "scheduler": scheduler.name,
+        "status": "ok",
+        "summary": summary,
+        "urgent_deadline_ratio": metrics.urgent_deadline_ratio(),
+        "jct_cdf": [[value, fraction] for value, fraction in metrics.jct_cdf()],
+        "error": None,
+        "measured": {"overhead_ms": overhead_ms},
+    }
+
+
+def error_record(spec: RunSpec, exc: BaseException, tb: Optional[str] = None) -> RunRecord:
+    """The structured record of a crashed shard."""
+    return {
+        "digest": spec.digest(),
+        "spec": spec.to_json(),
+        "scheduler": spec.scheduler.name,
+        "status": "error",
+        "summary": None,
+        "urgent_deadline_ratio": None,
+        "jct_cdf": None,
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": tb if tb is not None else traceback.format_exc(),
+        },
+    }
+
+
+def run_shard(payload: dict[str, Any]) -> RunRecord:
+    """Worker entry point: spec JSON in, record out, never raises.
+
+    Top-level (picklable) so :class:`ProcessPoolExecutor` can ship it;
+    also the serial path, so both modes share one code path.
+    """
+    spec = RunSpec.from_json(payload)
+    try:
+        return execute_spec(spec)
+    except Exception as exc:  # noqa: BLE001 — failure isolation is the point
+        return error_record(spec, exc)
+
+
+# -- sweep orchestration ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress snapshot handed to ``on_progress`` callbacks."""
+
+    done: int
+    total: int
+    cached: int
+    failed: int
+    eta_seconds: Optional[float]
+    label: str
+
+
+@dataclass
+class SweepResult:
+    """The merged outcome of one sweep.
+
+    ``records`` follow grid order (deduplicated by digest), regardless
+    of the order shards completed in.  ``stats``, ``timings`` and
+    ``measured`` (per-digest wall-clock observations such as the
+    scheduler's ``overhead_ms``; absent for cache-loaded shards) carry
+    bookkeeping that is deliberately **not** part of :meth:`merged`, so
+    merged results stay bit-identical across serial/parallel/cached
+    executions.
+    """
+
+    records: list[RunRecord]
+    stats: dict[str, int] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    measured: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def merged(self) -> dict[str, Any]:
+        """The deterministic, JSON-ready result document."""
+        from repro.exp.io import RESULTS_FORMAT
+
+        return {"format": RESULTS_FORMAT, "results": self.records}
+
+    def by_digest(self) -> dict[str, RunRecord]:
+        """Records keyed by spec digest."""
+        return {record["digest"]: record for record in self.records}
+
+    def ok(self) -> list[RunRecord]:
+        """Successful records only."""
+        return [r for r in self.records if r["status"] == "ok"]
+
+    def failures(self) -> list[RunRecord]:
+        """Structured error records of crashed shards."""
+        return [r for r in self.records if r["status"] == "error"]
+
+
+class SweepRunner:
+    """Executes a grid (or spec list) with caching and parallelism.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` runs shards serially in-process; ``N >= 1`` uses a
+        process pool of that size; ``None`` picks
+        :func:`default_workers`.
+    cache_dir:
+        Per-shard result cache directory (created on demand).  Absent
+        → every shard recomputes.
+    observer:
+        A ``repro.obs`` observer; live observers receive
+        ``repro_sweep_*`` metrics and per-shard timeline events.
+    on_progress:
+        Callback invoked with a :class:`SweepProgress` after every
+        shard (completed, failed or cache-loaded).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        observer: AnyObserver = NULL_OBSERVER,
+        on_progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if workers is not None and workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = default_workers() if workers is None else workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.observer = observer
+        self.on_progress = on_progress
+
+    def run(self, grid: Union[Grid, Iterable[RunSpec]]) -> SweepResult:
+        """Execute every spec; return the deterministically merged result."""
+        specs = self._dedupe(grid.specs() if isinstance(grid, Grid) else list(grid))
+        order = [spec.digest() for spec in specs]
+        results: dict[str, RunRecord] = {}
+        stats = {"shards": len(specs), "executed": 0, "cached": 0, "failed": 0}
+        timings: dict[str, float] = {}
+        measured: dict[str, dict[str, float]] = {}
+        reporter = _Reporter(self.observer, self.on_progress, total=len(specs))
+
+        pending: list[RunSpec] = []
+        for spec in specs:
+            cached = self._load_cached(spec.digest())
+            if cached is not None:
+                results[spec.digest()] = cached
+                stats["cached"] += 1
+                reporter.shard_done(spec, cached, from_cache=True)
+            else:
+                pending.append(spec)
+
+        for digest, record, elapsed in self._execute(pending, reporter):
+            observations = record.pop("measured", None)
+            if observations is not None:
+                measured[digest] = observations
+            results[digest] = record
+            stats["executed"] += 1
+            timings[digest] = elapsed
+            if record["status"] == "error":
+                stats["failed"] += 1
+            else:
+                self._store_cached(digest, record)
+
+        merged = [results[digest] for digest in order]
+        return SweepResult(
+            records=merged, stats=stats, timings=timings, measured=measured
+        )
+
+    # -- execution backends ------------------------------------------------
+
+    def _execute(
+        self, specs: list[RunSpec], reporter: "_Reporter"
+    ) -> Iterable[tuple[str, RunRecord, float]]:
+        if not specs:
+            return
+        if self.workers == 0:
+            yield from self._execute_serial(specs, reporter)
+        else:
+            yield from self._execute_pool(specs, reporter)
+
+    def _execute_serial(
+        self, specs: list[RunSpec], reporter: "_Reporter"
+    ) -> Iterable[tuple[str, RunRecord, float]]:
+        for spec in specs:
+            started = time.monotonic()
+            record = run_shard(spec.to_json())
+            elapsed = time.monotonic() - started
+            reporter.shard_done(spec, record, elapsed=elapsed)
+            yield spec.digest(), record, elapsed
+
+    def _execute_pool(
+        self, specs: list[RunSpec], reporter: "_Reporter"
+    ) -> Iterable[tuple[str, RunRecord, float]]:
+        by_future: dict[Future[RunRecord], tuple[RunSpec, float]] = {}
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            for spec in specs:
+                future = pool.submit(run_shard, spec.to_json())
+                by_future[future] = (spec, time.monotonic())
+            outstanding = set(by_future)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec, started = by_future[future]
+                    elapsed = time.monotonic() - started
+                    try:
+                        record = future.result()
+                    except Exception as exc:  # pool/pickling breakage
+                        record = error_record(spec, exc, tb=traceback.format_exc())
+                    reporter.shard_done(spec, record, elapsed=elapsed)
+                    yield spec.digest(), record, elapsed
+
+    # -- cache -------------------------------------------------------------
+
+    def _load_cached(self, digest: str) -> Optional[RunRecord]:
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{digest}.json"
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                record: RunRecord = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        # Only successful, matching records satisfy the cache; anything
+        # else (partial write survived somehow, digest mismatch) re-runs.
+        if record.get("status") != "ok" or record.get("digest") != digest:
+            return None
+        return record
+
+    def _store_cached(self, digest: str, record: RunRecord) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cache_dir / f"{digest}.json"
+        tmp = path.with_suffix(".json.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(record, handle)
+        os.replace(tmp, path)
+
+    # -- plumbing ----------------------------------------------------------
+
+    @staticmethod
+    def _dedupe(specs: list[RunSpec]) -> list[RunSpec]:
+        seen: set[str] = set()
+        out: list[RunSpec] = []
+        for spec in specs:
+            digest = spec.digest()
+            if digest not in seen:
+                seen.add(digest)
+                out.append(spec)
+        return out
+
+
+class _Reporter:
+    """Feeds shard completions to the observer and progress callback."""
+
+    def __init__(
+        self, observer: AnyObserver, on_progress: Optional[ProgressFn], total: int
+    ) -> None:
+        self.observer = observer
+        self.on_progress = on_progress
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self._started = time.monotonic()
+        self._run_seconds = 0.0
+        if observer.enabled and observer.registry is not None:
+            registry = observer.registry
+            self._shards_total = registry.counter(
+                "repro_sweep_shards_total", "Sweep shards finished (any outcome)."
+            )
+            self._cache_hits = registry.counter(
+                "repro_sweep_cache_hits_total", "Sweep shards satisfied from cache."
+            )
+            self._failures = registry.counter(
+                "repro_sweep_shard_failures_total", "Sweep shards that crashed."
+            )
+            self._eta = registry.gauge(
+                "repro_sweep_eta_seconds", "Estimated seconds until the sweep drains."
+            )
+
+    def shard_done(
+        self,
+        spec: RunSpec,
+        record: RunRecord,
+        elapsed: float = 0.0,
+        from_cache: bool = False,
+    ) -> None:
+        self.done += 1
+        self.cached += int(from_cache)
+        failed = record["status"] == "error"
+        self.failed += int(failed)
+        if not from_cache:
+            self._run_seconds += elapsed
+        eta = self.eta_seconds()
+        if self.observer.enabled and self.observer.registry is not None:
+            self._shards_total.inc()
+            if from_cache:
+                self._cache_hits.inc()
+            if failed:
+                self._failures.inc()
+            if eta is not None:
+                self._eta.set(eta)
+            self.observer.job_event(
+                f"sweep:{record['digest'][:12]}",
+                "shard_failed" if failed else "shard_done",
+                time.monotonic() - self._started,
+                detail=spec.label(),
+                cached=from_cache,
+            )
+        if self.on_progress is not None:
+            self.on_progress(
+                SweepProgress(
+                    done=self.done,
+                    total=self.total,
+                    cached=self.cached,
+                    failed=self.failed,
+                    eta_seconds=eta,
+                    label=spec.label(),
+                )
+            )
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining-time estimate from the mean executed-shard cost."""
+        executed = self.done - self.cached
+        remaining = self.total - self.done
+        if executed <= 0 or remaining <= 0:
+            return 0.0 if remaining == 0 else None
+        return self._run_seconds / executed * remaining

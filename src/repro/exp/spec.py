@@ -1,0 +1,329 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` fully describes one simulation — workload, cluster,
+scheduler (name + config overrides + optional policy pretraining),
+engine configuration and the workload seed.  Every spec:
+
+* **round-trips through JSON** (``to_json`` / ``from_json`` are exact
+  inverses, proven by equality in ``tests/test_exp.py``), so grids can
+  be stored in files, shipped to worker processes and archived next to
+  their results;
+* **hashes to a stable digest** (:meth:`RunSpec.digest`) — the SHA-256
+  of its canonical JSON form — which keys the sweep shard cache and the
+  deterministic result merge in :mod:`repro.exp.runner`.
+
+Scheduler configuration is carried as a plain JSON mapping (scalars
+plus optional nested ``priority`` / ``reward`` mappings) rather than an
+:class:`~repro.core.config.MLFSConfig` instance so that the spec stays
+serializable; :func:`repro.schedulers.build_scheduler` converts it when
+the simulation is instantiated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import EngineConfig
+from repro.workload.generator import WorkloadConfig
+from repro.workload.synthetic import generate_trace
+from repro.workload.trace import TraceRecord, read_trace
+
+__all__ = [
+    "ClusterSpec",
+    "PretrainSpec",
+    "RunSpec",
+    "SchedulerSpec",
+    "WorkloadSpec",
+    "SPEC_FORMAT",
+]
+
+#: Version salt folded into every digest: bump when the spec schema (or
+#: the simulation semantics a spec implies) changes incompatibly, so
+#: stale shard caches can never satisfy a new sweep.
+SPEC_FORMAT = "repro.exp/1"
+
+
+def _freeze_config(config: Mapping[str, Any]) -> dict[str, Any]:
+    """Normalize a scheduler-config mapping to JSON-native values.
+
+    Tuples become lists (what ``json.loads`` would hand back), so spec
+    equality is preserved across a JSON round-trip.
+    """
+    out: dict[str, Any] = {}
+    for key, value in config.items():
+        if isinstance(value, Mapping):
+            out[key] = _freeze_config(value)
+        elif isinstance(value, tuple):
+            out[key] = list(value)
+        else:
+            out[key] = value
+    return out
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The workload of one run: a trace plus the job-conversion knobs.
+
+    Either a synthetic Philly-like trace (``num_jobs`` jobs over
+    ``duration_hours``, generated with ``trace_seed``) or, when
+    ``trace_path`` is set, a trace CSV read from disk (the synthetic
+    fields are then ignored).
+    """
+
+    num_jobs: int = 100
+    duration_hours: float = 2.0
+    trace_seed: int = 0
+    deadline_hours: tuple[float, float] = (0.5, 24.0)
+    trace_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "deadline_hours", tuple(self.deadline_hours))
+
+    def records(self) -> list[TraceRecord]:
+        """Materialize the trace this spec describes."""
+        if self.trace_path is not None:
+            return read_trace(self.trace_path)
+        return generate_trace(
+            self.num_jobs,
+            duration_seconds=self.duration_hours * 3600.0,
+            seed=self.trace_seed,
+        )
+
+    def workload_config(self) -> WorkloadConfig:
+        """The trace → job conversion configuration."""
+        return WorkloadConfig(deadline_uniform_range_hours=self.deadline_hours)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "num_jobs": self.num_jobs,
+            "duration_hours": self.duration_hours,
+            "trace_seed": self.trace_seed,
+            "deadline_hours": list(self.deadline_hours),
+            "trace_path": self.trace_path,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            num_jobs=int(data["num_jobs"]),
+            duration_hours=float(data["duration_hours"]),
+            trace_seed=int(data["trace_seed"]),
+            deadline_hours=tuple(data.get("deadline_hours", (0.5, 24.0))),
+            trace_path=data.get("trace_path"),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The cluster of one run (homogeneous servers, as in the paper)."""
+
+    num_servers: int = 8
+    gpus_per_server: int = 4
+
+    def build(self) -> Cluster:
+        """A fresh cluster (clusters are stateful — one per run)."""
+        return Cluster.build(self.num_servers, self.gpus_per_server)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "num_servers": self.num_servers,
+            "gpus_per_server": self.gpus_per_server,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "ClusterSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            num_servers=int(data["num_servers"]),
+            gpus_per_server=int(data["gpus_per_server"]),
+        )
+
+
+@dataclass(frozen=True)
+class PretrainSpec:
+    """Recipe for imitation-pretraining an MLF-RL scoring policy.
+
+    Mirrors :class:`repro.core.train.TrainingSetup` in declarative form:
+    MLF-H runs over the described workload with a decision recorder, and
+    the recorded host choices supervise the policy.  The runner memoizes
+    the trained policy per process, keyed by this spec's digest, so a
+    sweep trains each distinct recipe once per worker instead of once
+    per shard.
+    """
+
+    workload: WorkloadSpec = WorkloadSpec(num_jobs=60, duration_hours=1.0, trace_seed=7)
+    cluster: ClusterSpec = ClusterSpec(num_servers=6, gpus_per_server=4)
+    seed: int = 8
+    imitation_epochs: int = 2
+    config: Mapping[str, Any] = field(
+        default_factory=lambda: {"enable_load_control": False}
+    )
+    engine: EngineConfig = EngineConfig()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "config", _freeze_config(self.config))
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "workload": self.workload.to_json(),
+            "cluster": self.cluster.to_json(),
+            "seed": self.seed,
+            "imitation_epochs": self.imitation_epochs,
+            "config": dict(self.config),
+            "engine": engine_config_to_json(self.engine),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "PretrainSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            workload=WorkloadSpec.from_json(data["workload"]),
+            cluster=ClusterSpec.from_json(data["cluster"]),
+            seed=int(data["seed"]),
+            imitation_epochs=int(data["imitation_epochs"]),
+            config=data.get("config", {}),
+            engine=engine_config_from_json(data.get("engine", {})),
+        )
+
+    def digest(self) -> str:
+        """Stable content hash (policy memoization key)."""
+        return _digest_of(self.to_json())
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Which policy schedules the run, and how it is configured.
+
+    ``name`` is a :data:`repro.schedulers.SCHEDULER_FACTORIES` key;
+    ``config`` holds :class:`~repro.core.config.MLFSConfig` overrides
+    for the MLF family (baselines take no config); ``pretrain``
+    optionally supplies an imitation-trained scoring policy (MLF-RL,
+    MLFS and the RL baseline accept one).
+    """
+
+    name: str = "MLF-H"
+    config: Mapping[str, Any] = field(default_factory=dict)
+    pretrain: Optional[PretrainSpec] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "config", _freeze_config(self.config))
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "name": self.name,
+            "config": dict(self.config),
+            "pretrain": self.pretrain.to_json() if self.pretrain else None,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "SchedulerSpec":
+        """Inverse of :meth:`to_json`."""
+        pretrain = data.get("pretrain")
+        return cls(
+            name=str(data["name"]),
+            config=data.get("config", {}),
+            pretrain=PretrainSpec.from_json(pretrain) if pretrain else None,
+        )
+
+
+def engine_config_to_json(config: EngineConfig) -> dict[str, Any]:
+    """:class:`EngineConfig` → JSON mapping (all fields are scalars)."""
+    return dataclasses.asdict(config)
+
+
+def engine_config_from_json(data: Mapping[str, Any]) -> EngineConfig:
+    """Inverse of :func:`engine_config_to_json`; unknown keys rejected."""
+    known = {f.name for f in dataclasses.fields(EngineConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown EngineConfig fields: {sorted(unknown)}")
+    return EngineConfig(**dict(data))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one simulation, serializable.
+
+    ``seed`` is the workload seed of the trace → job conversion
+    (:func:`repro.workload.build_jobs`); sweep replications vary it
+    while holding the rest of the spec fixed.
+    """
+
+    scheduler: SchedulerSpec
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    seed: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready representation (exact inverse of ``from_json``)."""
+        return {
+            "format": SPEC_FORMAT,
+            "scheduler": self.scheduler.to_json(),
+            "workload": self.workload.to_json(),
+            "cluster": self.cluster.to_json(),
+            "engine": engine_config_to_json(self.engine),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild a spec from its JSON form."""
+        fmt = data.get("format", SPEC_FORMAT)
+        if fmt != SPEC_FORMAT:
+            raise ValueError(f"unsupported spec format {fmt!r} (want {SPEC_FORMAT!r})")
+        return cls(
+            scheduler=SchedulerSpec.from_json(data["scheduler"]),
+            workload=WorkloadSpec.from_json(data["workload"]),
+            cluster=ClusterSpec.from_json(data["cluster"]),
+            engine=engine_config_from_json(data.get("engine", {})),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON form — the shard cache key."""
+        return _digest_of(self.to_json())
+
+    def label(self) -> str:
+        """Short human-readable tag used in progress reporting."""
+        return (
+            f"{self.scheduler.name}/j{self.workload.num_jobs}"
+            f"/s{self.seed}/{self.digest()[:8]}"
+        )
+
+
+def _digest_of(payload: Mapping[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def replace_path(spec: RunSpec, path: str, value: Any) -> RunSpec:
+    """Functional update of a dotted field path on a (nested) spec.
+
+    ``replace_path(spec, "workload.num_jobs", 240)`` returns a new spec
+    with every other field shared.  Intermediate segments must name
+    dataclass fields; the leaf may be any field value (including whole
+    sub-specs, e.g. ``path="scheduler"`` with a :class:`SchedulerSpec`).
+    """
+    return _replace_on(spec, path, value)
+
+
+def _replace_on(obj: Any, path: str, value: Any) -> Any:
+    head, _, rest = path.partition(".")
+    if not dataclasses.is_dataclass(obj) or head not in {
+        f.name for f in dataclasses.fields(obj)
+    }:
+        raise ValueError(f"no spec field {head!r} on {type(obj).__name__}")
+    if rest:
+        value = _replace_on(getattr(obj, head), rest, value)
+    return dataclasses.replace(obj, **{head: value})

@@ -1,13 +1,21 @@
-"""The scheduler registry: display name → zero-argument factory.
+"""The scheduler registry: display name → constructor.
 
-Shared by the CLI and the service daemon (which cannot import
-:mod:`repro.cli` without creating a cycle).  Names match the labels the
-paper's figures use.
+Shared by the CLI, the service daemon and the experiment engine (which
+cannot import :mod:`repro.cli` without creating a cycle).  Names match
+the labels the paper's figures use.
+
+:func:`build_scheduler` is the single construction path — it replaces
+the per-caller wiring that used to be duplicated across ``cli.py``,
+``benchmarks/harness.py`` and the examples: MLF-family entries take an
+:class:`~repro.core.config.MLFSConfig` (or a JSON-style override
+mapping, as carried by :class:`repro.exp.spec.SchedulerSpec`) plus an
+optional pretrained scoring policy; baselines take neither and reject
+stray configuration loudly instead of silently ignoring a typo.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable, Mapping, Optional, Union
 
 from repro.baselines import (
     FIFOScheduler,
@@ -20,9 +28,19 @@ from repro.baselines import (
     TiresiasScheduler,
 )
 from repro.core import make_mlf_h, make_mlf_rl, make_mlfs
+from repro.core.config import MLFSConfig, PriorityWeights, RewardWeights
+from repro.rl.policy import ScoringPolicy
 from repro.sim.interface import Scheduler
 
-#: Scheduler name → zero-argument factory.
+__all__ = [
+    "SCHEDULER_FACTORIES",
+    "build_scheduler",
+    "mlfs_config_from_mapping",
+    "scheduler_by_name",
+]
+
+#: Scheduler name → zero-argument factory (display/legend order is
+#: decided by callers; this is the full roster).
 SCHEDULER_FACTORIES: dict[str, Callable[[], Scheduler]] = {
     "MLFS": make_mlfs,
     "MLF-RL": make_mlf_rl,
@@ -41,26 +59,97 @@ SCHEDULER_FACTORIES: dict[str, Callable[[], Scheduler]] = {
 #: Members of the MLF family that take an :class:`MLFSConfig`.
 _MLF_FAMILY = frozenset({"MLFS", "MLF-RL", "MLF-H"})
 
+#: Baselines that accept a pretrained scoring policy.
+_POLICY_CAPABLE = _MLF_FAMILY | {"RL"}
+
+ConfigLike = Union[MLFSConfig, Mapping[str, Any], None]
+
+
+def mlfs_config_from_mapping(config: ConfigLike) -> MLFSConfig:
+    """Build an :class:`MLFSConfig` from a JSON-style override mapping.
+
+    Scalar keys map straight onto :class:`MLFSConfig` fields; the
+    nested ``priority`` / ``reward`` mappings onto
+    :class:`PriorityWeights` / :class:`RewardWeights`.  Unknown keys
+    raise (specs must not silently drop typos).  An existing
+    :class:`MLFSConfig` passes through; ``None`` yields the defaults.
+    """
+    if config is None:
+        return MLFSConfig()
+    if isinstance(config, MLFSConfig):
+        return config
+    kwargs: dict[str, Any] = dict(config)
+    try:
+        if "priority" in kwargs:
+            kwargs["priority"] = PriorityWeights(**dict(kwargs["priority"]))
+        if "reward" in kwargs:
+            kwargs["reward"] = RewardWeights(**dict(kwargs["reward"]))
+        built = MLFSConfig(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"invalid MLFS config overrides: {exc}") from None
+    built.validate()
+    return built
+
+
+def build_scheduler(
+    name: str,
+    config: ConfigLike = None,
+    policy: Optional[ScoringPolicy] = None,
+) -> Scheduler:
+    """Instantiate a scheduler from the registry.
+
+    Parameters
+    ----------
+    name:
+        A :data:`SCHEDULER_FACTORIES` key (paper legend name).
+    config:
+        MLF family only: an :class:`MLFSConfig` or an override mapping
+        (see :func:`mlfs_config_from_mapping`).  Baselines raise on any
+        non-empty config.
+    policy:
+        Optional pretrained scoring policy for MLF-RL, MLFS and the RL
+        baseline; rejected elsewhere.
+    """
+    if name not in SCHEDULER_FACTORIES:
+        known = ", ".join(sorted(SCHEDULER_FACTORIES))
+        raise ValueError(f"unknown scheduler {name!r}; choose from: {known}")
+    if policy is not None and name not in _POLICY_CAPABLE:
+        raise ValueError(f"scheduler {name!r} does not take a pretrained policy")
+    if name in _MLF_FAMILY:
+        mlfs_config: Optional[MLFSConfig] = None
+        if config is not None:
+            if not isinstance(config, MLFSConfig) and "enable_load_control" not in config:
+                # Preserve each variant's factory default (only full
+                # MLFS runs the MLF-C load controller) when the
+                # override mapping does not say otherwise.
+                config = {**dict(config), "enable_load_control": name == "MLFS"}
+            mlfs_config = mlfs_config_from_mapping(config)
+        if name == "MLFS":
+            return make_mlfs(policy, mlfs_config)
+        if name == "MLF-RL":
+            return make_mlf_rl(policy, mlfs_config)
+        return make_mlf_h(mlfs_config)
+    if config:
+        raise ValueError(f"scheduler {name!r} takes no config overrides")
+    if name == "RL":
+        return RLScheduler(policy=policy)
+    return SCHEDULER_FACTORIES[name]()
+
 
 def scheduler_by_name(
     name: str, rl_switch_decisions: int | None = None
 ) -> Scheduler:
-    """Instantiate a scheduler by its display name.
+    """CLI/service wrapper over :func:`build_scheduler`.
 
     ``rl_switch_decisions`` overrides the MLF family's heuristic→RL
     switch threshold (ignored for the baselines); the service daemon
-    exposes it so short online runs can reach the RL phase.
+    exposes it so short online runs can reach the RL phase.  Unknown
+    names exit with a one-line message instead of a traceback.
     """
-    factory = SCHEDULER_FACTORIES.get(name)
-    if factory is None:
-        known = ", ".join(sorted(SCHEDULER_FACTORIES))
-        raise SystemExit(f"unknown scheduler {name!r}; choose from: {known}")
+    config: ConfigLike = None
     if rl_switch_decisions is not None and name in _MLF_FAMILY:
-        from repro.core.config import MLFSConfig
-
-        config = MLFSConfig(
-            enable_load_control=(name == "MLFS"),
-            rl_switch_decisions=rl_switch_decisions,
-        )
-        return factory(config=config)
-    return factory()
+        config = {"rl_switch_decisions": rl_switch_decisions}
+    try:
+        return build_scheduler(name, config)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None

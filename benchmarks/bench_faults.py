@@ -1,0 +1,150 @@
+"""Fault-injection benchmark: JCT degradation vs server MTBF.
+
+Sweeps the same MLF-H workload under fault plans drawn at several
+mean-time-between-failures values (plus a fault-free baseline) through
+``repro.api.sweep``, twice — serial and process-parallel — and verifies
+the merged results are bit-identical (the FaultPlan rides in each
+spec's digest, so caching and sharding stay deterministic).  Writes
+``BENCH_faults.json`` at the repo root: the JCT-vs-MTBF curve is the
+headline table, the recovery accounting (kills, lost iterations) the
+supporting one.
+
+Override the sweep with::
+
+    REPRO_FAULT_BENCH_MTBF=10,20,40,80 REPRO_FAULT_BENCH_JOBS=60 \
+        python benchmarks/bench_faults.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import REAL  # noqa: E402
+
+from repro import api  # noqa: E402
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+#: Rounds covered by each generated fault plan — long enough to span
+#: the drain of the bench workload at every MTBF point.
+FAULT_HORIZON_ROUNDS = 400
+
+#: Checkpoint period (iterations) for lost-work accounting.
+CHECKPOINT_PERIOD = 5
+
+
+def _mtbf_values() -> list[float]:
+    env = os.environ.get("REPRO_FAULT_BENCH_MTBF", "15,30,60")
+    return [float(v) for v in env.split(",") if v.strip()]
+
+
+def _grid() -> tuple[api.Grid, list[float]]:
+    mtbfs = _mtbf_values()
+    jobs = int(os.environ.get("REPRO_FAULT_BENCH_JOBS", "30"))
+    base = api.replace_path(
+        REAL.base_spec(api.SchedulerSpec("MLF-H")), "workload.num_jobs", jobs
+    )
+    plans = [None] + [
+        api.FaultPlan.from_mtbf(
+            num_servers=REAL.num_servers,
+            horizon_rounds=FAULT_HORIZON_ROUNDS,
+            mtbf_rounds=mtbf,
+            seed=int(mtbf),
+            checkpoint_period=CHECKPOINT_PERIOD,
+        )
+        for mtbf in mtbfs
+    ]
+    return api.Grid(base, axes={"faults": plans}), mtbfs
+
+
+def run_bench() -> dict:
+    """Sweep MTBF points serial and parallel; build the JCT curve."""
+    grid, mtbfs = _grid()
+    workers = int(os.environ.get("REPRO_FAULT_BENCH_WORKERS", "4"))
+
+    started = time.perf_counter()
+    serial = api.sweep(grid, workers=0)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = api.sweep(grid, workers=workers)
+    parallel_s = time.perf_counter() - started
+
+    identical = json.dumps(serial.merged(), sort_keys=True) == json.dumps(
+        parallel.merged(), sort_keys=True
+    )
+
+    # Records come back in grid order: fault-free first, then one per
+    # MTBF point (ascending by our axis order).
+    labels = ["no-faults"] + [f"mtbf={mtbf:g}r" for mtbf in mtbfs]
+    curve = []
+    for label, record in zip(labels, serial.ok()):
+        summary = record["summary"]
+        curve.append(
+            {
+                "point": label,
+                "avg_jct_s": round(summary["avg_jct_s"], 3),
+                "makespan_s": round(summary["makespan_s"], 3),
+                "deadline_ratio": round(summary["deadline_ratio"], 4),
+                "fault_events": summary.get("fault_events", 0.0),
+                "tasks_killed": summary.get("tasks_killed", 0.0),
+                "iterations_lost": summary.get("iterations_lost", 0.0),
+            }
+        )
+
+    baseline = curve[0]["avg_jct_s"] if curve else 0.0
+    for point in curve:
+        point["jct_vs_baseline"] = (
+            round(point["avg_jct_s"] / baseline, 4) if baseline > 0 else None
+        )
+
+    return {
+        "benchmark": "repro.faults JCT vs MTBF",
+        "scheduler": "MLF-H",
+        "mtbf_rounds": mtbfs,
+        "checkpoint_period": CHECKPOINT_PERIOD,
+        "curve": curve,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "bit_identical": identical,
+        "failed_shards": serial.stats["failed"] + parallel.stats["failed"],
+    }
+
+
+def main() -> int:
+    report = run_bench()
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["bit_identical"] or report["failed_shards"]:
+        return 1
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.slow
+    def test_fault_sweep_bit_identical():
+        """Serial ≡ parallel over the MTBF sweep; JCT degrades with faults."""
+        report = run_bench()
+        OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        assert report["bit_identical"]
+        assert report["failed_shards"] == 0
+        faulted = [p for p in report["curve"][1:]]
+        assert any(p["fault_events"] > 0 for p in faulted)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,8 @@ from repro.exp.spec import (
     WorkloadSpec,
     replace_path,
 )
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan, load_plan, save_plan
 from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
 from repro.schedulers import SCHEDULER_FACTORIES, build_scheduler
 from repro.sim.engine import EngineConfig
@@ -52,6 +54,9 @@ from repro.workload.generator import WorkloadConfig
 __all__ = [
     "ClusterSpec",
     "EngineConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "Grid",
     "MLFSConfig",
     "PretrainSpec",
@@ -71,9 +76,11 @@ __all__ = [
     "WorkloadSpec",
     "build_scheduler",
     "default_workers",
+    "load_plan",
     "load_results",
     "replace_path",
     "run",
+    "save_plan",
     "save_results",
     "sweep",
 ]

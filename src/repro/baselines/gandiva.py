@@ -84,7 +84,11 @@ class GandivaScheduler(GangScheduler):
         best = None
         best_util = float("inf")
         for server in ctx.cluster.servers:
+            if server.failed:
+                continue  # a crashed server's idle GPUs are not destinations
             for gpu in server.gpus:
+                if gpu.failed:
+                    continue
                 if (server.server_id, gpu.gpu_id) == exclude:
                     continue
                 util = shadow.gpu_utilization(server, gpu.gpu_id)

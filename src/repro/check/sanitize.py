@@ -40,6 +40,11 @@ Checked invariants
     observable state (the determinism contract behind crash-safe
     resume).  Engines holding non-picklable user objects skip this
     check (counted in :attr:`Sanitizer.snapshot_checks_skipped`).
+``dead-server``
+    Fault injection (:mod:`repro.faults`): a failed server hosts no
+    tasks and holds no load, and a failed GPU hosts no tasks — killed
+    work must have been fully released back to the queue, and no
+    scheduler path may have re-placed onto lost hardware.
 """
 
 from __future__ import annotations
@@ -61,6 +66,7 @@ __all__ = [
     "Sanitizer",
     "SanitizingCluster",
     "check_cluster_conservation",
+    "check_dead_servers",
     "check_dequeue_order",
     "check_queue_consistency",
     "check_snapshot_roundtrip",
@@ -298,6 +304,57 @@ def check_queue_consistency(
 
 
 # ----------------------------------------------------------------------
+# Dead servers (fault injection)
+# ----------------------------------------------------------------------
+
+
+def check_dead_servers(
+    cluster: Cluster,
+    tolerance: float = DEFAULT_TOLERANCE,
+    round_index: Optional[int] = None,
+) -> None:
+    """Assert no task (or load) resides on failed hardware.
+
+    After a ``server_crash``/``gpu_fail`` event the engine must have
+    killed every resident task and released its demand, and no later
+    placement/migration may target the dead server or device until it
+    is revived.
+    """
+    for server in cluster.servers:
+        if server.failed:
+            hosted = server.tasks()
+            if hosted:
+                raise InvariantViolation(
+                    "dead-server",
+                    f"failed server still hosts {len(hosted)} task(s)",
+                    server_id=server.server_id,
+                    task_id=hosted[0].task_id,
+                    job_id=hosted[0].job_id,
+                    round_index=round_index,
+                )
+            residual = max(abs(v) for v in server.load.as_tuple())
+            if residual > tolerance:
+                raise InvariantViolation(
+                    "dead-server",
+                    f"failed server retains load (residual {residual:.9g})",
+                    server_id=server.server_id,
+                    round_index=round_index,
+                )
+        for gpu in server.gpus:
+            if gpu.failed and gpu.task_count:
+                bad = gpu.tasks()[0]
+                raise InvariantViolation(
+                    "dead-server",
+                    f"failed GPU still hosts {gpu.task_count} task(s)",
+                    server_id=server.server_id,
+                    gpu_id=gpu.gpu_id,
+                    task_id=bad.task_id,
+                    job_id=bad.job_id,
+                    round_index=round_index,
+                )
+
+
+# ----------------------------------------------------------------------
 # Priority-ordered dequeue
 # ----------------------------------------------------------------------
 
@@ -399,10 +456,16 @@ def engine_state_digest(engine: "SimulationEngine") -> tuple[Any, ...]:
     servers = tuple(
         (
             server.server_id,
+            server.failed,
             server.load.as_tuple(),
             tuple(sorted(t.task_id for t in server.tasks())),
             tuple(
-                (gpu.gpu_id, gpu.load, tuple(sorted(t.task_id for t in gpu.tasks())))
+                (
+                    gpu.gpu_id,
+                    gpu.failed,
+                    gpu.load,
+                    tuple(sorted(t.task_id for t in gpu.tasks())),
+                )
                 for gpu in server.gpus
             ),
         )
@@ -434,6 +497,7 @@ def engine_state_digest(engine: "SimulationEngine") -> tuple[Any, ...]:
         )
         for time, seq, event in engine._events._heap
     )
+    faults = engine.faults.digest_state() if engine.faults is not None else None
     return (
         engine.now,
         engine.round_index,
@@ -444,6 +508,7 @@ def engine_state_digest(engine: "SimulationEngine") -> tuple[Any, ...]:
         iterations,
         servers,
         events,
+        faults,
     )
 
 
@@ -492,6 +557,7 @@ _DIGEST_FIELDS = (
     "iterations",
     "servers",
     "events",
+    "faults",
 )
 
 
@@ -540,6 +606,9 @@ class Sanitizer:
                 engine.cluster, tolerance=self.tolerance, round_index=round_index
             )
             check_queue_consistency(engine, round_index=round_index)
+            check_dead_servers(
+                engine.cluster, tolerance=self.tolerance, round_index=round_index
+            )
             if decision is not None:
                 check_dequeue_order(decision, round_index=round_index)
             if self.rounds_checked % self.snapshot_every == 0:

@@ -27,6 +27,8 @@ Examples
     python -m repro submit --socket /tmp/repro.sock --model resnet --gpus 4
     python -m repro ctl --socket /tmp/repro.sock metrics --format prom
     python -m repro ctl --socket /tmp/repro.sock history job-0001
+    python -m repro run --trace trace.csv --scheduler MLF-H --faults plan.json
+    python -m repro ctl --socket /tmp/repro.sock faultctl server_crash --server 2
     python -m repro report telemetry.jsonl
     python -m repro sweep --schedulers MLF-H,Tiresias --seeds 0,1 \
         --jobs 60 --workers 2 --out sweep.json
@@ -72,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--gpus-per-server", type=int, default=4)
     common.add_argument("--seed", type=int, default=0)
     common.add_argument("--tick-seconds", type=float, default=60.0)
+    common.add_argument(
+        "--faults", default=None, help="fault-injection plan JSON (repro.faults)"
+    )
 
     p_run = sub.add_parser("run", parents=[common], help="run one scheduler")
     p_run.add_argument("--scheduler", default="MLFS")
@@ -123,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="audit runtime invariants after every round (repro.check.sanitize)",
     )
+    p_serve.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection plan JSON applied by round index (repro.faults)",
+    )
 
     p_sub = sub.add_parser("submit", help="submit one job to a running daemon")
     p_sub.add_argument("--socket", default="repro-service.sock")
@@ -157,10 +167,26 @@ def build_parser() -> argparse.ArgumentParser:
             "snapshot",
             "ping",
             "shutdown",
+            "faultctl",
         ],
     )
     p_ctl.add_argument(
-        "job_id", nargs="?", default=None, help="for status/cancel/history"
+        "job_id",
+        nargs="?",
+        default=None,
+        help="for status/cancel/history; the action for faultctl",
+    )
+    p_ctl.add_argument(
+        "--server", type=int, default=None, help="faultctl target server id"
+    )
+    p_ctl.add_argument(
+        "--gpu", type=int, default=None, help="faultctl target GPU id"
+    )
+    p_ctl.add_argument(
+        "--slowdown",
+        type=float,
+        default=None,
+        help="faultctl straggler_start iteration-time multiplier",
     )
 
     p_report = sub.add_parser(
@@ -206,6 +232,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="0 = serial; default = cpu_count() - 1",
     )
+    p_sweep.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection plan JSON applied to every spec (ignored with --grid)",
+    )
     p_sweep.add_argument("--cache-dir", default=None, help="per-shard result cache")
     p_sweep.add_argument("--out", default=None, help="write merged results JSON here")
     p_sweep.add_argument(
@@ -228,11 +259,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _setup_from_args(args) -> SimulationSetup:
     records = read_trace(args.trace)
+    faults = None
+    if getattr(args, "faults", None):
+        from repro.faults import load_plan
+
+        faults = load_plan(args.faults)
     return SimulationSetup(
         records=records,
         cluster_factory=lambda: Cluster.build(args.servers, args.gpus_per_server),
         workload_seed=args.seed,
         engine_config=EngineConfig(tick_seconds=args.tick_seconds),
+        faults=faults,
     )
 
 
@@ -292,6 +329,7 @@ def cmd_serve(args) -> int:
         trace_path=args.trace,
         rl_switch_decisions=args.rl_switch_decisions,
         sanitize=True if args.sanitize else None,
+        faults_path=args.faults,
     )
     print(f"repro daemon listening on {args.socket} (scheduler={args.scheduler})")
     try:
@@ -365,6 +403,19 @@ def cmd_ctl(args) -> int:
             if not args.job_id:
                 raise SystemExit("ctl cancel requires a job_id")
             out = client.cancel(args.job_id)
+        elif args.verb == "faultctl":
+            if not args.job_id:
+                raise SystemExit(
+                    "ctl faultctl requires an action"
+                    " (status/server_crash/server_revive/gpu_fail/"
+                    "gpu_revive/straggler_start/straggler_end)"
+                )
+            out = client.faultctl(
+                args.job_id,
+                server_id=args.server,
+                gpu_id=args.gpu,
+                slowdown=args.slowdown,
+            )
         elif args.verb == "snapshot":
             out = {"path": client.snapshot()}
         elif args.verb == "ping":
@@ -418,6 +469,7 @@ def _sweep_grid_from_args(args):
         cluster=api.ClusterSpec(
             num_servers=args.servers, gpus_per_server=args.gpus_per_server
         ),
+        faults=api.load_plan(args.faults) if args.faults else None,
     )
     axes = {
         "scheduler": [api.SchedulerSpec(name) for name in schedulers],

@@ -81,6 +81,16 @@ class Cluster:
             total = total + server.load
         return total
 
+    # -- fault state (repro.faults) ----------------------------------------
+
+    def healthy_servers(self) -> list[Server]:
+        """Servers not currently marked failed by fault injection."""
+        return [s for s in self.servers if not s.failed]
+
+    def failed_servers(self) -> list[Server]:
+        """Servers currently marked failed by fault injection."""
+        return [s for s in self.servers if s.failed]
+
     # -- overload predicates (Sections 3.3.2 / 3.5) ------------------------
 
     def overloaded_servers(self, threshold: float) -> list[Server]:

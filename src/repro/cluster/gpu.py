@@ -31,6 +31,9 @@ class GPU:
 
     gpu_id: int
     capacity: float = 1.0
+    #: Fault-injection flag (repro.faults): a failed device keeps its
+    #: accounting but refuses new work until revived.
+    failed: bool = False
     _tasks: dict[str, "Task"] = field(default_factory=dict, repr=False)
     _load: float = field(default=0.0, repr=False)
 
@@ -54,17 +57,25 @@ class GPU:
         return list(self._tasks.values())
 
     def is_overloaded(self, threshold: float) -> bool:
-        """Whether utilization exceeds the overload threshold ``h_r``."""
-        return self.utilization > threshold
+        """Whether utilization exceeds the overload threshold ``h_r``.
+
+        A failed device reports overloaded so every capacity check
+        steers placements away from it.
+        """
+        return self.failed or self.utilization > threshold
 
     def would_overload(self, extra_gpu_demand: float, threshold: float) -> bool:
         """Whether adding ``extra_gpu_demand`` would push past ``threshold``."""
+        if self.failed:
+            return True
         if not self.capacity:
             return extra_gpu_demand > 0
         return (self._load + extra_gpu_demand) / self.capacity > threshold
 
     def add_task(self, task: "Task") -> None:
         """Account a task's GPU demand onto this device."""
+        if self.failed:
+            raise ValueError(f"cannot place task {task.task_id}: GPU {self.gpu_id} failed")
         if task.task_id in self._tasks:
             raise ValueError(f"task {task.task_id} already on GPU {self.gpu_id}")
         self._tasks[task.task_id] = task

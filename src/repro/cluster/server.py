@@ -41,6 +41,9 @@ class Server:
     server_id: int
     capacity: ResourceVector = DEFAULT_SERVER_CAPACITY
     num_gpus: int = 4
+    #: Fault-injection flag (repro.faults): a crashed server reports
+    #: overloaded on every predicate and rejects placements until revived.
+    failed: bool = False
     gpus: list[GPU] = field(default_factory=list)
     _tasks: dict[str, "Task"] = field(default_factory=dict, repr=False)
     _load: ResourceVector = field(default_factory=ResourceVector.zeros, repr=False)
@@ -66,8 +69,12 @@ class Server:
         return self.utilization().norm()
 
     def is_overloaded(self, threshold: float) -> bool:
-        """True when any resource utilization exceeds ``h_r`` (Section 3.3.2)."""
-        return self.utilization().exceeds_any(threshold)
+        """True when any resource utilization exceeds ``h_r`` (Section 3.3.2).
+
+        A failed server is unconditionally overloaded, which keeps every
+        capacity-checking placement path away from lost hardware.
+        """
+        return self.failed or self.utilization().exceeds_any(threshold)
 
     def overloaded_kinds(self, threshold: float) -> list[ResourceKind]:
         """The resource kinds whose utilization exceeds ``threshold``."""
@@ -78,11 +85,22 @@ class Server:
         """The GPU devices whose utilization exceeds ``threshold``."""
         return [g for g in self.gpus if g.is_overloaded(threshold)]
 
+    def healthy_gpus(self) -> list[GPU]:
+        """The GPU devices not currently marked failed."""
+        return [g for g in self.gpus if not g.failed]
+
     def least_loaded_gpu(self) -> GPU:
-        """The GPU with the smallest utilization (placement target)."""
+        """The GPU with the smallest utilization (placement target).
+
+        Healthy devices are preferred; with every device failed the
+        least-loaded failed one is returned so accounting paths (task
+        removal, digests) keep working — placement predicates reject it
+        via :meth:`GPU.would_overload`.
+        """
         if not self.gpus:
             raise RuntimeError(f"server {self.server_id} has no GPUs")
-        return min(self.gpus, key=lambda g: (g.utilization, g.gpu_id))
+        pool = self.healthy_gpus() or self.gpus
+        return min(pool, key=lambda g: (g.utilization, g.gpu_id))
 
     def would_overload(
         self, demand: ResourceVector, threshold: float, gpu: Optional[GPU] = None
@@ -91,8 +109,11 @@ class Server:
 
         The paper requires that the selected host "will not be overloaded
         (on each resource and its least-loaded GPU) by hosting the task"
-        (Section 3.3.2).
+        (Section 3.3.2).  A failed server (or target GPU) always
+        overloads.
         """
+        if self.failed:
+            return True
         candidate = (self._load + demand).divide_by(self.capacity)
         if candidate.exceeds_any(threshold):
             return True
@@ -117,6 +138,10 @@ class Server:
         engine) is responsible for updating the task's own placement
         bookkeeping.
         """
+        if self.failed:
+            raise ValueError(
+                f"cannot place task {task.task_id}: server {self.server_id} failed"
+            )
         if task.task_id in self._tasks:
             raise ValueError(
                 f"task {task.task_id} already on server {self.server_id}"

@@ -33,6 +33,7 @@ from repro.exp.spec import (
     engine_config_to_json,
     replace_path,
 )
+from repro.faults.plan import FaultPlan
 
 __all__ = ["Grid"]
 
@@ -43,6 +44,7 @@ _SUBSPEC_CODECS = {
     "workload": WorkloadSpec.from_json,
     "cluster": ClusterSpec.from_json,
     "engine": engine_config_from_json,
+    "faults": lambda data: FaultPlan.from_json(data) if data else None,
 }
 
 

@@ -125,6 +125,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         jobs=jobs,
         cluster=spec.cluster.build(),
         config=spec.engine,
+        faults=spec.faults,
     )
     metrics = engine.run()
     summary = metrics.summary()

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from repro.cluster.cluster import Cluster
+from repro.faults.plan import FaultPlan
 from repro.sim.engine import EngineConfig
 from repro.workload.generator import WorkloadConfig
 from repro.workload.synthetic import generate_trace
@@ -45,7 +46,8 @@ __all__ = [
 #: Version salt folded into every digest: bump when the spec schema (or
 #: the simulation semantics a spec implies) changes incompatibly, so
 #: stale shard caches can never satisfy a new sweep.
-SPEC_FORMAT = "repro.exp/1"
+#: v2: specs carry an optional ``faults`` FaultPlan (repro.faults).
+SPEC_FORMAT = "repro.exp/2"
 
 
 def _freeze_config(config: Mapping[str, Any]) -> dict[str, Any]:
@@ -256,7 +258,10 @@ class RunSpec:
 
     ``seed`` is the workload seed of the trace → job conversion
     (:func:`repro.workload.build_jobs`); sweep replications vary it
-    while holding the rest of the spec fixed.
+    while holding the rest of the spec fixed.  ``faults`` optionally
+    attaches a :class:`repro.faults.plan.FaultPlan` — it is part of the
+    spec's JSON form and digest, so faulted and fault-free runs (and
+    runs under different plans) never share a cache shard.
     """
 
     scheduler: SchedulerSpec
@@ -264,6 +269,7 @@ class RunSpec:
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     engine: EngineConfig = field(default_factory=EngineConfig)
     seed: int = 0
+    faults: Optional[FaultPlan] = None
 
     def to_json(self) -> dict[str, Any]:
         """JSON-ready representation (exact inverse of ``from_json``)."""
@@ -274,6 +280,7 @@ class RunSpec:
             "cluster": self.cluster.to_json(),
             "engine": engine_config_to_json(self.engine),
             "seed": self.seed,
+            "faults": self.faults.to_json() if self.faults is not None else None,
         }
 
     @classmethod
@@ -282,12 +289,14 @@ class RunSpec:
         fmt = data.get("format", SPEC_FORMAT)
         if fmt != SPEC_FORMAT:
             raise ValueError(f"unsupported spec format {fmt!r} (want {SPEC_FORMAT!r})")
+        faults = data.get("faults")
         return cls(
             scheduler=SchedulerSpec.from_json(data["scheduler"]),
             workload=WorkloadSpec.from_json(data["workload"]),
             cluster=ClusterSpec.from_json(data["cluster"]),
             engine=engine_config_from_json(data.get("engine", {})),
             seed=int(data.get("seed", 0)),
+            faults=FaultPlan.from_json(faults) if faults else None,
         )
 
     def digest(self) -> str:

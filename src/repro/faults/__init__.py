@@ -1,0 +1,25 @@
+"""Deterministic fault injection and recovery semantics.
+
+See :mod:`repro.faults.plan` for the frozen scenario description and
+:mod:`repro.faults.injector` for the runtime executor.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    PLAN_FORMAT,
+    FaultEvent,
+    FaultPlan,
+    load_plan,
+    save_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PLAN_FORMAT",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "load_plan",
+    "save_plan",
+]

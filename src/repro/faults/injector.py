@@ -1,0 +1,120 @@
+"""Runtime state of an executing :class:`~repro.faults.plan.FaultPlan`.
+
+The :class:`FaultInjector` sits between a frozen plan and the
+simulation engine's fault phase.  It answers "which events fire this
+round?" (merging the plan's scheduled events with any runtime-injected
+ones, in a deterministic order), tracks which servers are currently
+straggling (the engine multiplies new iteration durations by
+:meth:`FaultInjector.slowdown_for`), and keeps the fault counters.
+
+The injector deliberately does **not** mutate the cluster — the engine
+owns kill/re-enqueue/rollback so the recovery path is in one place.
+Failed/revived flags live on :class:`repro.cluster.server.Server` and
+:class:`repro.cluster.gpu.GPU` (and therefore inside service
+snapshots); the injector carries only plan-cursor state and is itself
+picklable, so a restored daemon resumes the scenario exactly where the
+snapshot left it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.workload.job import Job
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` round by round."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan or FaultPlan()
+        #: Runtime-injected events (``faultctl``); drained at the next tick.
+        self.pending: list[FaultEvent] = []
+        #: server_id -> slowdown multiplier for active straggler phases.
+        self.stragglers: dict[int, float] = {}
+        self.counters: dict[str, int] = {
+            "servers_failed": 0,
+            "servers_revived": 0,
+            "gpus_failed": 0,
+            "gpus_revived": 0,
+            "straggler_events": 0,
+            "tasks_killed": 0,
+            "iterations_lost": 0,
+        }
+
+    # -- event feed --------------------------------------------------------
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether the injector can never affect the run from here on.
+
+        True only for an empty plan with no runtime injections and no
+        straggler phase in flight — the engine skips the fault phase
+        entirely, so carrying an idle injector is bit-identical to
+        running without one.
+        """
+        return self.plan.is_empty and not self.pending and not self.stragglers
+
+    def take_events(self, round_index: int) -> tuple[FaultEvent, ...]:
+        """Events to apply this round: scheduled ∪ runtime, sorted.
+
+        Runtime-injected events are drained regardless of their nominal
+        ``round_index`` (they fire at the first tick after injection);
+        the merged batch is ordered by :meth:`FaultEvent.sort_key` so
+        the application order never depends on injection timing.
+        """
+        scheduled = self.plan.events_at(round_index)
+        if not self.pending:
+            return scheduled
+        runtime = tuple(self.pending)
+        self.pending.clear()
+        return tuple(sorted(scheduled + runtime, key=FaultEvent.sort_key))
+
+    def inject(self, event: FaultEvent) -> None:
+        """Queue a runtime fault (``faultctl``) for the next tick."""
+        self.pending.append(event)
+
+    # -- straggler bookkeeping --------------------------------------------
+
+    def start_straggler(self, server_id: int, slowdown: float) -> None:
+        self.stragglers[server_id] = slowdown
+
+    def end_straggler(self, server_id: int) -> None:
+        self.stragglers.pop(server_id, None)
+
+    def slowdown_for(self, job: Job) -> float:
+        """Largest active straggler multiplier among the job's servers."""
+        if not self.stragglers:
+            return 1.0
+        worst = 1.0
+        for task in job.tasks:
+            if task.server_id is None:
+                continue
+            factor = self.stragglers.get(task.server_id)
+            if factor is not None and factor > worst:
+                worst = factor
+        return worst
+
+    # -- introspection -----------------------------------------------------
+
+    def state(self) -> dict[str, object]:
+        """JSON-ready status (``faultctl status`` / telemetry)."""
+        return {
+            "plan_events": len(self.plan.events),
+            "checkpoint_period": self.plan.checkpoint_period,
+            "pending": [e.to_json() for e in self.pending],
+            "stragglers": {str(k): v for k, v in sorted(self.stragglers.items())},
+            "counters": dict(self.counters),
+        }
+
+    def digest_state(self) -> tuple[object, ...]:
+        """Deterministic tuple folded into the engine state digest."""
+        return (
+            self.plan.digest(),
+            tuple(tuple(sorted(e.to_json().items())) for e in self.pending),
+            tuple(sorted(self.stragglers.items())),
+            tuple(sorted(self.counters.items())),
+        )

@@ -172,6 +172,15 @@ class Observer:
         self.evictions_total = reg.counter(
             "mlfs_task_evictions_total", "Task evictions applied."
         )
+        self.fault_events_total = reg.counter(
+            "mlfs_fault_events_total", "Fault-injection events applied."
+        )
+        self.fault_kills_total = reg.counter(
+            "mlfs_fault_task_kills_total", "Tasks killed by injected faults."
+        )
+        self.failed_servers = reg.gauge(
+            "mlfs_failed_servers", "Servers currently down (fault injection)."
+        )
         self.queue_depth = reg.gauge(
             "mlfs_queue_depth", "Tasks waiting in the scheduler queue."
         )
@@ -244,6 +253,8 @@ class Observer:
             self.migrations_total.inc()
         elif event == "evicted":
             self.evictions_total.inc()
+        elif event == "fault_killed":
+            self.fault_kills_total.inc()
         elif event == "submitted":
             self.arrivals_total.inc()
         elif event in ("completed", "stopped"):
@@ -262,6 +273,10 @@ class Observer:
             self.rounds_total.inc()
         if result.events_processed:
             self.events_total.inc(result.events_processed)
+        faults = getattr(result, "faults", 0)
+        if faults:
+            self.fault_events_total.inc(faults)
+        self.failed_servers.set(getattr(result, "failed_servers", 0))
         self.queue_depth.set(result.queue_depth)
         self.active_jobs.set(result.active_jobs)
         self.running_jobs.set(result.running_jobs)

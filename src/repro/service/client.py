@@ -134,6 +134,23 @@ class ServiceClient:
         """Advance scheduler rounds without draining."""
         return self.call("step", rounds=rounds)
 
+    def faultctl(
+        self,
+        action: str,
+        server_id: Optional[int] = None,
+        gpu_id: Optional[int] = None,
+        slowdown: Optional[float] = None,
+    ) -> dict[str, Any]:
+        """Inspect ("status") or inject faults (e.g. "server_crash")."""
+        params: dict[str, Any] = {"action": action}
+        if server_id is not None:
+            params["server_id"] = server_id
+        if gpu_id is not None:
+            params["gpu_id"] = gpu_id
+        if slowdown is not None:
+            params["slowdown"] = slowdown
+        return self.call("faultctl", **params)
+
     def snapshot(self) -> str:
         """Force a snapshot; returns its path."""
         return str(self.call("snapshot")["path"])

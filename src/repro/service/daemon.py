@@ -31,6 +31,8 @@ from pathlib import Path
 from typing import Any, Optional
 
 from repro.cluster.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultEvent, load_plan
 from repro.schedulers import scheduler_by_name
 from repro.service.admission import (
     AdmissionController,
@@ -84,6 +86,10 @@ class ServiceConfig:
     #: Run the invariant sanitizer (:mod:`repro.check.sanitize`) after
     #: every round.  ``None`` defers to the ``REPRO_SANITIZE`` switch.
     sanitize: Optional[bool] = None
+    #: JSON :class:`~repro.faults.plan.FaultPlan` to execute
+    #: (``serve --faults``).  ``None`` starts with an empty plan; the
+    #: ``faultctl`` verb can still inject faults at runtime.
+    faults_path: Optional[str] = None
 
 
 class SchedulerService:
@@ -104,6 +110,12 @@ class SchedulerService:
         self.observer = Observer(
             tracer=Tracer() if self.config.trace_path else NullTracer()
         )
+        # Always carry an injector: an idle one is bit-identical to no
+        # fault layer, and faultctl needs somewhere to queue runtime
+        # events.  It snapshots (pickles) with the service core.
+        self.fault_injector = FaultInjector(
+            load_plan(self.config.faults_path) if self.config.faults_path else None
+        )
         self.engine = SimulationEngine(
             scheduler=scheduler,
             jobs=[],
@@ -115,6 +127,7 @@ class SchedulerService:
             ),
             observer=self.observer,
             sanitize=self.config.sanitize,
+            faults=self.fault_injector,
         )
         self.admission = AdmissionController(
             threshold=self.config.admission_threshold,
@@ -173,6 +186,10 @@ class SchedulerService:
         # A restart reopens admissions: a drain that preceded the
         # snapshot must not leave the revived daemon refusing work.
         core.draining = False
+        # Snapshots predating the fault layer carry no injector.
+        if not hasattr(core, "fault_injector"):
+            core.fault_injector = core.engine.faults or FaultInjector()
+            core.engine.faults = core.fault_injector
         return core
 
     # -- verbs -------------------------------------------------------------
@@ -300,8 +317,61 @@ class SchedulerService:
             "active_jobs": len(self.engine.active_jobs),
             "overload_degree": self.engine.cluster.overload_degree(),
             "overload_smoothed": self.admission.tracker.value,
+            "failed_servers": len(self.engine.cluster.failed_servers()),
             "draining": self.draining,
             "summary": self.engine.metrics.summary(),
+        }
+
+    def faultctl(
+        self,
+        action: str,
+        server_id: Optional[int] = None,
+        gpu_id: Optional[int] = None,
+        slowdown: float = 3.0,
+    ) -> dict[str, Any]:
+        """Inspect or drive fault injection on the live daemon.
+
+        ``action="status"`` reports the current fault state; any
+        :data:`~repro.faults.plan.FAULT_KINDS` action queues a runtime
+        :class:`~repro.faults.plan.FaultEvent` that the engine applies
+        at its next tick's fault phase (never mid-verb, so snapshots
+        and replays stay deterministic).
+        """
+        cluster = self.engine.cluster
+        if action == "status":
+            return {
+                "failed_servers": [s.server_id for s in cluster.failed_servers()],
+                "failed_gpus": [
+                    [server.server_id, gpu.gpu_id]
+                    for server in cluster.servers
+                    for gpu in server.gpus
+                    if gpu.failed
+                ],
+                **self.fault_injector.state(),
+            }
+        if action not in FAULT_KINDS:
+            known = ", ".join(sorted(FAULT_KINDS))
+            raise ProtocolError(
+                f"unknown faultctl action {action!r}; choose status or one of: {known}"
+            )
+        if server_id is None:
+            raise ProtocolError(f"faultctl {action} requires server_id")
+        if not 0 <= server_id < len(cluster.servers):
+            raise ProtocolError(f"no server {server_id}")
+        try:
+            event = FaultEvent(
+                round_index=self.engine.round_index + 1,
+                kind=action,
+                server_id=server_id,
+                gpu_id=gpu_id,
+                slowdown=slowdown,
+            )
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+        self.fault_injector.inject(event)
+        return {
+            "queued": event.to_json(),
+            "applies_at_round": self.engine.round_index + 1,
         }
 
     def snapshot_now(self) -> Optional[str]:
@@ -436,7 +506,14 @@ class SchedulerDaemon:
     async def _round_loop(self) -> None:
         while not self._stop.is_set():
             await asyncio.sleep(self.core.config.round_interval)
-            if not self.core.engine.is_drained or self.core.admission.queue_depth:
+            # Pending faultctl events must tick even on a drained
+            # cluster, so e.g. a crash injected while idle marks the
+            # server failed before the next job arrives.
+            if (
+                not self.core.engine.is_drained
+                or self.core.admission.queue_depth
+                or self.core.fault_injector.pending
+            ):
                 self.core.advance_round()
 
     # -- request handling --------------------------------------------------
@@ -515,6 +592,21 @@ class SchedulerDaemon:
                     "queue_depth": last.queue_depth,
                     "active_jobs": last.active_jobs,
                 },
+                id=request.id,
+            )
+        if request.op == "faultctl":
+            action = params.get("action")
+            if not action:
+                raise ProtocolError("faultctl requires action")
+            server_id = params.get("server_id")
+            gpu_id = params.get("gpu_id")
+            return Response.success(
+                core.faultctl(
+                    str(action),
+                    server_id=int(server_id) if server_id is not None else None,
+                    gpu_id=int(gpu_id) if gpu_id is not None else None,
+                    slowdown=float(params.get("slowdown", 3.0)),
+                ),
                 id=request.id,
             )
         if request.op == "snapshot":

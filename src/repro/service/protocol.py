@@ -48,6 +48,7 @@ VERBS = frozenset(
         "history",
         "drain",
         "step",
+        "faultctl",
         "snapshot",
         "ping",
         "shutdown",

@@ -98,6 +98,9 @@ def round_record(
         "evictions": result.evictions,
         "completions": result.completions,
         "stops": result.stops,
+        "faults": result.faults,
+        "tasks_killed": result.tasks_killed,
+        "failed_servers": result.failed_servers,
         "completed_total": len(metrics.job_records),
         "deadline_ratio": metrics.deadline_guarantee_ratio(),
         "bandwidth_mb": metrics.total_bandwidth_mb(),

@@ -41,6 +41,8 @@ from typing import Optional, Union
 
 from repro.check.sanitize import Sanitizer, sanitize_from_env
 from repro.cluster.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
 from repro.learncurve.accuracy import AccuracyPredictor
 from repro.learncurve.runtime import RuntimePredictor
 from repro.obs.observer import (
@@ -133,6 +135,11 @@ class RoundResult:
     running_jobs: int
     overload_degree: float
     drained: bool
+    #: Fault injection (repro.faults): events applied this round, tasks
+    #: killed by them, and servers currently down after the round.
+    faults: int = 0
+    tasks_killed: int = 0
+    failed_servers: int = 0
 
 
 class SimulationEngine:
@@ -149,6 +156,7 @@ class SimulationEngine:
         observer: Optional[Union[Observer, NullObserver]] = None,
         trace: Optional[Union[str, Path]] = None,
         sanitize: Optional[bool] = None,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
     ) -> None:
         self.scheduler = scheduler
         self.jobs = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
@@ -197,6 +205,15 @@ class SimulationEngine:
             sanitize = sanitize_from_env()
         self.sanitizer: Optional[Sanitizer] = Sanitizer() if sanitize else None
         self._last_decision: Optional[SchedulerDecision] = None
+        # Fault injection (repro.faults): accept a frozen plan or a live
+        # injector (the service layer shares one across restarts).  An
+        # idle injector is bit-identical to running without one.
+        if faults is None:
+            self.faults: Optional[FaultInjector] = None
+        elif isinstance(faults, FaultInjector):
+            self.faults = faults
+        else:
+            self.faults = FaultInjector(faults)
 
     # ------------------------------------------------------------------
     # Run loop
@@ -244,6 +261,13 @@ class SimulationEngine:
         """
         self.start()
         self._reset_round_counters()
+        # Runtime-injected faults (``faultctl``) must not sit queued on
+        # a drained engine with no tick to carry the fault phase — seed
+        # one so e.g. a crash on an idle cluster still applies.  Plan
+        # events are unaffected: they fire only on rounds that happen
+        # anyway.
+        if self.faults is not None and self.faults.pending:
+            self._ensure_tick(self.now)
         ticked = False
         events_processed = 0
         while self._events:
@@ -288,6 +312,9 @@ class SimulationEngine:
             running_jobs=len(self._iteration),
             overload_degree=self.cluster.overload_degree(),
             drained=self.is_drained,
+            faults=counters["faults"],
+            tasks_killed=counters["tasks_killed"],
+            failed_servers=len(self.cluster.failed_servers()),
         )
         self.obs.on_round(result)
         return result
@@ -347,6 +374,8 @@ class SimulationEngine:
             "placements": 0,
             "migrations": 0,
             "evictions": 0,
+            "faults": 0,
+            "tasks_killed": 0,
         }
 
     # ------------------------------------------------------------------
@@ -381,6 +410,10 @@ class SimulationEngine:
         self.scheduler.on_job_arrival(job, self.now)
 
     def _handle_tick(self) -> None:
+        # Fault phase first: capacity changes and kills must be visible
+        # to this round's scheduling pass, and crashes apply even while
+        # the cluster is idle.
+        self._apply_faults()
         if self.active_jobs:
             overloaded = self.cluster.overloaded_servers(self.config.overload_threshold)
             self.metrics.overload_occurrences += len(overloaded)
@@ -441,6 +474,154 @@ class SimulationEngine:
             self._complete_job(job, stopped_early=False)
         else:
             self._start_iteration(job)
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+
+    def _apply_faults(self) -> None:
+        """Apply this round's fault events before the scheduling pass."""
+        injector = self.faults
+        if injector is None or injector.is_idle:
+            return
+        # ``_round_index`` increments after the tick, so the round being
+        # executed is reported as ``_round_index + 1`` — plan round
+        # indices refer to those reported (1-based) round numbers.
+        this_round = self._round_index + 1
+        events = injector.take_events(this_round)
+        if not events:
+            return
+        previous = set_current_observer(self.obs)
+        try:
+            with self.obs.span(
+                "faults", round=this_round, events=len(events)
+            ):
+                killed_jobs: set[str] = set()
+                for event in events:
+                    self._apply_fault_event(event, killed_jobs)
+                # One rollback per job per batch: losing two tasks at the
+                # same round restores a single checkpoint, not two.
+                for job_id in sorted(killed_jobs):
+                    job = self.active_jobs.get(job_id)
+                    if job is not None:
+                        self._rollback_to_checkpoint(job)
+        finally:
+            set_current_observer(previous)
+
+    def _apply_fault_event(self, event: FaultEvent, killed_jobs: set[str]) -> None:
+        injector = self.faults
+        assert injector is not None
+        if event.server_id >= len(self.cluster.servers):
+            return  # plan targets a server this cluster does not have
+        server = self.cluster.server(event.server_id)
+        kind = event.kind
+        applied = False
+        if kind == "server_crash":
+            if not server.failed:
+                applied = True
+                server.failed = True
+                self._count_fault("servers_failed")
+                for task in server.tasks():
+                    self._kill_task(task, killed_jobs, f"server-{server.server_id}-crash")
+        elif kind == "server_revive":
+            if server.failed:
+                applied = True
+                server.failed = False
+                self._count_fault("servers_revived")
+        elif kind == "gpu_fail":
+            if event.gpu_id is not None and event.gpu_id < len(server.gpus):
+                gpu = server.gpus[event.gpu_id]
+                if not gpu.failed:
+                    applied = True
+                    gpu.failed = True
+                    self._count_fault("gpus_failed")
+                    for task in gpu.tasks():
+                        self._kill_task(
+                            task,
+                            killed_jobs,
+                            f"server-{server.server_id}-gpu-{gpu.gpu_id}-fail",
+                        )
+        elif kind == "gpu_revive":
+            if event.gpu_id is not None and event.gpu_id < len(server.gpus):
+                gpu = server.gpus[event.gpu_id]
+                if gpu.failed:
+                    applied = True
+                    gpu.failed = False
+                    self._count_fault("gpus_revived")
+        elif kind == "straggler_start":
+            applied = True
+            injector.start_straggler(server.server_id, event.slowdown)
+            self._count_fault("straggler_events")
+        elif kind == "straggler_end":
+            if server.server_id in injector.stragglers:
+                applied = True
+                injector.end_straggler(server.server_id)
+                self._count_fault("straggler_events")
+        if applied:
+            self._round_counters["faults"] += 1
+            self.metrics.fault_events += 1
+
+    def _count_fault(self, key: str) -> None:
+        """Bump the same fault counter in the metrics and the injector."""
+        assert self.faults is not None
+        self.faults.counters[key] += 1
+        setattr(self.metrics, key, getattr(self.metrics, key) + 1)
+
+    def _kill_task(self, task: Task, killed_jobs: set[str], reason: str) -> None:
+        """Fault-kill a resident task: release it and re-enqueue it.
+
+        Unlike a scheduler eviction this is involuntary — the task's job
+        will be rolled back to its last checkpoint once the whole fault
+        batch has been applied, and the scheduler re-places the task
+        through its normal paths in the same round.
+        """
+        server = self.cluster.server(task.server_id)
+        server.remove_task(task)
+        task.mark_queued(self.now)
+        self.queue.append(task)
+        self._round_counters["tasks_killed"] += 1
+        self._count_fault("tasks_killed")
+        self.obs.job_event(
+            task.job_id,
+            "fault_killed",
+            self.now,
+            round_index=self._round_index + 1,
+            task_id=task.task_id,
+            server_id=server.server_id,
+            detail=reason,
+        )
+        job = task.job
+        killed_jobs.add(job.job_id)
+        self._cancel_iteration(job)
+        if not job.placed_tasks():
+            self._open_wait_stint(job)
+
+    def _rollback_to_checkpoint(self, job: Job) -> None:
+        """Checkpoint-restart: resume from the last completed checkpoint.
+
+        Jobs checkpoint every ``checkpoint_period`` completed iterations;
+        the iterations past that point are lost work, redone after the
+        scheduler re-places the killed tasks.  Deadline-time progress is
+        clamped too — the restored model state *is* the checkpoint.
+        """
+        assert self.faults is not None
+        period = self.faults.plan.checkpoint_period
+        checkpointed = (job.iterations_completed // period) * period
+        lost = job.iterations_completed - checkpointed
+        if lost <= 0:
+            return
+        job.iterations_completed = checkpointed
+        job.iterations_at_deadline = min(job.iterations_at_deadline, checkpointed)
+        self.metrics.iterations_lost += lost
+        self.faults.counters["iterations_lost"] += lost
+        self.obs.job_event(
+            job.job_id,
+            "rolled_back",
+            self.now,
+            round_index=self._round_index + 1,
+            iterations_lost=lost,
+            checkpoint=checkpointed,
+        )
 
     # ------------------------------------------------------------------
     # Decision application
@@ -560,6 +741,10 @@ class SimulationEngine:
         duration, cross_mb = self.execution.iteration_duration(
             job, self.cluster, self._rng.random()
         )
+        if self.faults is not None and self.faults.stragglers:
+            factor = self.faults.slowdown_for(job)
+            if factor != 1.0:
+                duration *= factor
         duration = max(duration, 1e-6)
         token = self._tokens[job.job_id] = self._tokens.get(job.job_id, 0) + 1
         self._iteration[job.job_id] = _IterationState(

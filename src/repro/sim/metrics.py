@@ -59,6 +59,16 @@ class SimulationMetrics:
     num_migrations: int = 0
     num_evictions: int = 0
     overload_occurrences: int = 0
+    # Fault injection (repro.faults): applied events, capacity transitions,
+    # kills and checkpoint-restart lost work.
+    fault_events: int = 0
+    servers_failed: int = 0
+    servers_revived: int = 0
+    gpus_failed: int = 0
+    gpus_revived: int = 0
+    straggler_events: int = 0
+    tasks_killed: int = 0
+    iterations_lost: int = 0
     scheduler_overhead_seconds: list[float] = field(default_factory=list)
     first_arrival: Optional[float] = None
     last_completion: Optional[float] = None
@@ -179,6 +189,9 @@ class SimulationMetrics:
             "overhead_ms": self.average_overhead_ms(),
             "overload_occurrences": float(self.overload_occurrences),
             "migrations": float(self.num_migrations),
+            "fault_events": float(self.fault_events),
+            "tasks_killed": float(self.tasks_killed),
+            "iterations_lost": float(self.iterations_lost),
         }
 
 

@@ -61,17 +61,18 @@ class ShadowCluster:
         return self.gpu_load(server, gpu_id) / gpu.capacity if gpu.capacity else 0.0
 
     def least_loaded_gpu(self, server: Server) -> int:
-        """GPU id with the smallest shadow utilization."""
+        """GPU id with the smallest shadow utilization (healthy first)."""
         if not server.gpus:
             raise RuntimeError(f"server {server.server_id} has no GPUs")
+        pool = server.healthy_gpus() or server.gpus
         return min(
-            (g.gpu_id for g in server.gpus),
+            (g.gpu_id for g in pool),
             key=lambda gid: (self.gpu_utilization(server, gid), gid),
         )
 
     def is_overloaded(self, server: Server, threshold: float) -> bool:
-        """Shadow-aware server overload predicate."""
-        return self.utilization(server).exceeds_any(threshold)
+        """Shadow-aware server overload predicate (failed ⇒ overloaded)."""
+        return server.failed or self.utilization(server).exceeds_any(threshold)
 
     def underloaded_servers(self, threshold: float) -> list[Server]:
         """Servers not overloaded under shadow accounting."""
@@ -86,12 +87,21 @@ class ShadowCluster:
         threshold: float,
         gpu_id: Optional[int] = None,
     ) -> bool:
-        """Whether hosting ``demand`` would overload server or target GPU."""
+        """Whether hosting ``demand`` would overload server or target GPU.
+
+        Failed servers and failed GPUs (including a server whose every
+        device failed) always overload, so no scheduler path routes work
+        onto lost hardware.
+        """
+        if server.failed:
+            return True
         load = self.server_load(server) + demand
         if load.divide_by(server.capacity).exceeds_any(threshold):
             return True
         gid = gpu_id if gpu_id is not None else self.least_loaded_gpu(server)
         gpu = server.gpus[gid]
+        if gpu.failed:
+            return True
         if not gpu.capacity:
             return demand.gpu > 0
         return (self.gpu_load(server, gid) + demand.gpu) / gpu.capacity > threshold

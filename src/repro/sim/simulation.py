@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
+from repro.faults.plan import FaultPlan
 from repro.sim.engine import EngineConfig, SimulationEngine
 from repro.sim.interface import Scheduler
 from repro.sim.metrics import SimulationMetrics
@@ -48,6 +49,9 @@ class SimulationSetup:
     engine_config: EngineConfig = field(default_factory=EngineConfig)
     workload_config: WorkloadConfig = field(default_factory=WorkloadConfig)
     workload_seed: int = 0
+    #: Optional fault plan; a plan (not an injector) so comparison runs
+    #: each get a fresh injector over the same frozen schedule.
+    faults: Optional[FaultPlan] = None
 
 
 def run_simulation(
@@ -63,6 +67,7 @@ def run_simulation(
         jobs=jobs,
         cluster=cluster,
         config=engine_config or setup.engine_config,
+        faults=setup.faults,
     )
     metrics = engine.run()
     return SimulationResult(scheduler_name=scheduler.name, metrics=metrics)

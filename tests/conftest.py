@@ -1,10 +1,60 @@
-"""Shared fixtures: small deterministic jobs, clusters and workloads."""
+"""Shared fixtures: small deterministic jobs, clusters and workloads.
+
+Also the suite-wide plumbing:
+
+* ``--update-golden`` regenerates ``tests/golden/*.jsonl`` (see
+  :mod:`tests.test_golden_traces`) instead of diffing against them.
+* Every test runs under a wall-clock ceiling (``signal.alarm``-based,
+  so no extra dependency): a hung test raises ``TimeoutError`` where
+  it is stuck instead of wedging the whole suite.  ``slow``-marked
+  tests get a higher ceiling.
+"""
 
 from __future__ import annotations
 
 import random
+import signal
 
 import pytest
+
+#: Per-test wall-clock ceilings (seconds).
+TEST_TIMEOUT_S = 120
+SLOW_TEST_TIMEOUT_S = 900
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/*.jsonl instead of diffing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether golden files should be rewritten rather than compared."""
+    return bool(request.config.getoption("--update-golden"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: pytest.Item):
+    """Enforce the per-test wall-clock ceiling (POSIX main thread only)."""
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+    limit = SLOW_TEST_TIMEOUT_S if item.get_closest_marker("slow") else TEST_TIMEOUT_S
+
+    def _on_alarm(signum, frame):  # pragma: no cover - only fires on hang
+        raise TimeoutError(f"test exceeded the {limit}s wall-clock ceiling")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(limit)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 from repro.cluster import Cluster, ResourceVector, Server
 from repro.workload import (

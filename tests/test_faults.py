@@ -1,0 +1,401 @@
+"""Fault-injection layer tests: plans, the engine's fault phase,
+checkpoint-restart, spec/sweep integration and the service faultctl
+surface (including snapshot/restore of a faulted daemon)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.cluster import Cluster
+from repro.core import make_mlf_h
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    load_plan,
+    save_plan,
+)
+from repro.service import JobSpec, ServiceConfig
+from repro.service.daemon import SchedulerService
+from repro.service.protocol import ProtocolError
+from repro.sim import EngineConfig, SimulationEngine
+from repro.workload import build_jobs, generate_trace
+
+
+def make_engine(plan=None, num_jobs=8, seed=5, sanitize=True, servers=4):
+    records = generate_trace(num_jobs, duration_seconds=1800.0, seed=seed)
+    jobs = build_jobs(records, seed=seed + 1)
+    return SimulationEngine(
+        make_mlf_h(),
+        jobs,
+        Cluster.build(servers, 4),
+        EngineConfig(seed=seed, max_time=14 * 24 * 3600.0),
+        sanitize=sanitize,
+        faults=plan,
+    )
+
+
+def job_tuples(metrics):
+    return [
+        (r.job_id, r.jct, r.iterations_completed, r.final_accuracy)
+        for r in metrics.job_records
+    ]
+
+
+SAMPLE_PLAN = FaultPlan(
+    events=(
+        FaultEvent(round_index=3, kind="server_crash", server_id=0),
+        FaultEvent(round_index=5, kind="straggler_start", server_id=1, slowdown=2.0),
+        FaultEvent(round_index=7, kind="server_revive", server_id=0),
+        FaultEvent(round_index=9, kind="straggler_end", server_id=1),
+        FaultEvent(round_index=11, kind="gpu_fail", server_id=2, gpu_id=1),
+        FaultEvent(round_index=13, kind="gpu_revive", server_id=2, gpu_id=1),
+    ),
+    checkpoint_period=2,
+)
+
+
+class TestFaultPlan:
+    def test_json_round_trip_exact(self):
+        data = SAMPLE_PLAN.to_json()
+        again = FaultPlan.from_json(data)
+        assert again == SAMPLE_PLAN
+        assert again.to_json() == data
+        # And through an actual JSON string.
+        assert FaultPlan.from_json(json.loads(json.dumps(data))) == SAMPLE_PLAN
+
+    def test_digest_stable_and_sensitive(self):
+        assert SAMPLE_PLAN.digest() == SAMPLE_PLAN.digest()
+        moved = FaultPlan(
+            events=SAMPLE_PLAN.events[1:], checkpoint_period=SAMPLE_PLAN.checkpoint_period
+        )
+        assert moved.digest() != SAMPLE_PLAN.digest()
+        other_period = FaultPlan(events=SAMPLE_PLAN.events, checkpoint_period=7)
+        assert other_period.digest() != SAMPLE_PLAN.digest()
+
+    def test_events_normalized_sorted(self):
+        shuffled = FaultPlan(events=tuple(reversed(SAMPLE_PLAN.events)))
+        assert [e.round_index for e in shuffled.events] == sorted(
+            e.round_index for e in SAMPLE_PLAN.events
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(round_index=-1, kind="server_crash", server_id=0)
+        with pytest.raises(ValueError):
+            FaultEvent(round_index=1, kind="meteor_strike", server_id=0)
+        with pytest.raises(ValueError):
+            FaultEvent(round_index=1, kind="gpu_fail", server_id=0)  # no gpu_id
+        with pytest.raises(ValueError):
+            FaultEvent(round_index=1, kind="straggler_start", server_id=0, slowdown=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan.from_json({"format": "not-a-plan", "events": []})
+
+    def test_from_mtbf_deterministic(self):
+        a = FaultPlan.from_mtbf(4, 60, 20.0, seed=9, straggler_probability=0.3)
+        b = FaultPlan.from_mtbf(4, 60, 20.0, seed=9, straggler_probability=0.3)
+        assert a == b and a.digest() == b.digest()
+        c = FaultPlan.from_mtbf(4, 60, 20.0, seed=10, straggler_probability=0.3)
+        assert c != a
+        assert all(1 <= e.round_index for e in a.events)
+        assert all(e.kind in FAULT_KINDS for e in a.events)
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(SAMPLE_PLAN, path)
+        assert load_plan(path) == SAMPLE_PLAN
+
+
+class TestFaultInjector:
+    def test_idle_until_armed(self):
+        assert FaultInjector().is_idle
+        assert FaultInjector(FaultPlan()).is_idle
+        assert not FaultInjector(SAMPLE_PLAN).is_idle
+
+    def test_pending_events_merge_with_plan(self):
+        injector = FaultInjector(SAMPLE_PLAN)
+        runtime = FaultEvent(round_index=3, kind="server_crash", server_id=2)
+        injector.inject(runtime)
+        taken = injector.take_events(3)
+        assert runtime in taken
+        assert SAMPLE_PLAN.events[0] in taken
+        # Pending queue drains exactly once.
+        assert injector.pending == []
+        assert runtime not in injector.take_events(3)
+
+    def test_digest_state_tracks_runtime_changes(self):
+        injector = FaultInjector(SAMPLE_PLAN)
+        before = injector.digest_state()
+        injector.inject(FaultEvent(round_index=2, kind="server_crash", server_id=1))
+        assert injector.digest_state() != before
+
+
+class TestEngineFaults:
+    def test_crash_kills_and_recovers(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(round_index=4, kind="server_crash", server_id=0),
+                FaultEvent(round_index=10, kind="server_revive", server_id=0),
+            ),
+            checkpoint_period=1,
+        )
+        engine = make_engine(plan)
+        metrics = engine.run()
+        assert metrics.servers_failed == 1
+        assert metrics.servers_revived == 1
+        assert metrics.fault_events == 2
+        # Every job still completes and is accounted exactly once.
+        assert len(metrics.job_records) == 8
+        assert engine.sanitizer.violations_raised == 0
+        summary = metrics.summary()
+        assert summary["fault_events"] == 2.0
+
+    def test_no_placement_on_dead_server(self):
+        plan = FaultPlan(
+            events=(FaultEvent(round_index=2, kind="server_crash", server_id=0),)
+        )
+        engine = make_engine(plan)
+        engine.start()
+        while True:
+            result = engine.step()
+            server = engine.cluster.server(0)
+            if server.failed:
+                assert server.task_count == 0
+            if result.drained or result.events_processed == 0:
+                break
+        engine.finalize()
+        assert engine.cluster.server(0).failed  # never revived
+        assert engine.sanitizer.violations_raised == 0
+
+    def test_checkpoint_rollback_accounts_lost_work(self):
+        # A late crash with a coarse checkpoint period loses work.
+        crash_rounds = tuple(range(6, 30, 4))
+        plan = FaultPlan(
+            events=tuple(
+                FaultEvent(round_index=r, kind="server_crash", server_id=s)
+                for r in crash_rounds
+                for s in (0, 1)
+            )
+            + tuple(
+                FaultEvent(round_index=r + 2, kind="server_revive", server_id=s)
+                for r in crash_rounds
+                for s in (0, 1)
+            ),
+            checkpoint_period=4,
+        )
+        engine = make_engine(plan)
+        metrics = engine.run()
+        assert metrics.tasks_killed > 0
+        assert metrics.iterations_lost > 0
+        assert engine.faults.counters["iterations_lost"] == metrics.iterations_lost
+        for record in metrics.job_records:
+            assert record.iterations_completed <= record.max_iterations
+
+    def test_straggler_slows_the_run(self):
+        baseline = make_engine(None, sanitize=False).run()
+        slow_plan = FaultPlan(
+            events=tuple(
+                FaultEvent(round_index=1, kind="straggler_start", server_id=s, slowdown=4.0)
+                for s in range(4)
+            )
+        )
+        slowed = make_engine(slow_plan, sanitize=False).run()
+        assert slowed.makespan() > baseline.makespan()
+
+    def test_redundant_events_are_noops(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(round_index=2, kind="server_crash", server_id=0),
+                FaultEvent(round_index=3, kind="server_crash", server_id=0),  # already dead
+                FaultEvent(round_index=4, kind="server_revive", server_id=1),  # healthy
+                FaultEvent(round_index=5, kind="gpu_revive", server_id=2, gpu_id=0),
+            )
+        )
+        metrics = make_engine(plan).run()
+        assert metrics.fault_events == 1  # only the first crash applied
+        assert metrics.servers_failed == 1
+        assert metrics.servers_revived == 0
+
+    def test_same_seed_faulted_runs_identical(self):
+        a = make_engine(SAMPLE_PLAN).run()
+        b = make_engine(SAMPLE_PLAN).run()
+        assert job_tuples(a) == job_tuples(b)
+        assert a.fault_events == b.fault_events
+        assert a.iterations_lost == b.iterations_lost
+
+    def test_empty_plan_matches_no_faults(self):
+        bare = make_engine(None).run()
+        empty = make_engine(FaultPlan()).run()
+        assert job_tuples(bare) == job_tuples(empty)
+        assert bare.bandwidth_mb == empty.bandwidth_mb
+
+
+class TestSpecIntegration:
+    def _spec(self, plan=None):
+        return api.RunSpec(
+            scheduler=api.SchedulerSpec("MLF-H"),
+            workload=api.WorkloadSpec(num_jobs=8, duration_hours=0.5, trace_seed=4),
+            cluster=api.ClusterSpec(num_servers=3, gpus_per_server=4),
+            faults=plan,
+        )
+
+    def test_spec_round_trip_and_digest(self):
+        spec = self._spec(SAMPLE_PLAN)
+        again = api.RunSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.digest() == spec.digest()
+        assert self._spec(None).digest() != spec.digest()
+
+    def test_grid_faults_axis_round_trip(self):
+        plans = [None, SAMPLE_PLAN]
+        grid = api.Grid(self._spec(), axes={"faults": plans})
+        again = api.Grid.from_json(json.loads(json.dumps(grid.to_json())))
+        assert [s.faults for s in again.specs()] == plans
+
+    def test_mtbf_sweep_serial_parallel_bit_identical(self):
+        plans = [
+            api.FaultPlan.from_mtbf(3, 60, mtbf, seed=int(mtbf), checkpoint_period=2)
+            for mtbf in (10.0, 25.0, 50.0)
+        ]
+        grid = api.Grid(self._spec(), axes={"faults": plans})
+        serial = api.sweep(grid, workers=0)
+        parallel = api.sweep(grid, workers=2)
+        assert serial.stats["failed"] == 0 and parallel.stats["failed"] == 0
+        assert json.dumps(serial.merged(), sort_keys=True) == json.dumps(
+            parallel.merged(), sort_keys=True
+        )
+        # The three MTBF points have three distinct digests (the plan
+        # participates in the spec digest, so caching can tell them apart).
+        digests = {record["digest"] for record in serial.ok()}
+        assert len(digests) == 3
+
+
+def service_config(tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        socket_path=str(tmp_path / "repro.sock"),
+        servers=4,
+        gpus_per_server=4,
+        seed=7,
+        round_interval=0.0,
+        snapshot_dir=None,
+        telemetry_path=None,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def submit_batch(core, count=6):
+    specs = [
+        JobSpec(model_name="svm", gpus_requested=2, max_iterations=12, urgency=3),
+        JobSpec(model_name="alexnet", gpus_requested=4, max_iterations=10, urgency=6),
+        JobSpec(model_name="mlp", gpus_requested=1, max_iterations=8, urgency=1),
+    ]
+    outcomes = []
+    for index in range(count):
+        outcomes.append(core.submit(specs[index % len(specs)]))
+    return outcomes
+
+
+class TestServiceFaultctl:
+    def test_status_on_healthy_cluster(self, tmp_path):
+        core = SchedulerService(service_config(tmp_path))
+        status = core.faultctl("status")
+        assert status["failed_servers"] == []
+        assert status["failed_gpus"] == []
+        assert status["counters"]["tasks_killed"] == 0
+
+    def test_crash_and_revive_cycle(self, tmp_path):
+        core = SchedulerService(service_config(tmp_path))
+        outcomes = submit_batch(core)
+        for _ in range(3):
+            core.advance_round()
+        out = core.faultctl("server_crash", server_id=0)
+        assert out["queued"]["kind"] == "server_crash"
+        core.advance_round()  # the pending event applies here
+        status = core.faultctl("status")
+        assert status["failed_servers"] == [0]
+        core.faultctl("server_revive", server_id=0)
+        core.advance_round()
+        assert core.faultctl("status")["failed_servers"] == []
+        core.drain()
+        for outcome in outcomes:
+            assert core.status(outcome["job_id"])["state"] == "completed"
+
+    def test_faultctl_applies_on_idle_cluster(self, tmp_path):
+        # A drained engine has no pending tick; step() must seed one so
+        # a crash injected while idle still marks the server failed
+        # instead of waiting for the next job to arrive.
+        core = SchedulerService(service_config(tmp_path))
+        core.faultctl("server_crash", server_id=2)
+        core.advance_round()
+        status = core.faultctl("status")
+        assert status["failed_servers"] == [2]
+        assert status["pending"] == []
+        assert core.engine.cluster.server(2).failed
+
+    def test_faultctl_validation(self, tmp_path):
+        core = SchedulerService(service_config(tmp_path))
+        with pytest.raises(ProtocolError):
+            core.faultctl("meteor_strike", server_id=0)
+        with pytest.raises(ProtocolError):
+            core.faultctl("server_crash")  # no server_id
+        with pytest.raises(ProtocolError):
+            core.faultctl("server_crash", server_id=99)
+        with pytest.raises(ProtocolError):
+            core.faultctl("gpu_fail", server_id=0)  # no gpu_id
+
+    def test_planned_faults_via_config(self, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        save_plan(
+            FaultPlan(events=(FaultEvent(round_index=2, kind="server_crash", server_id=1),)),
+            plan_path,
+        )
+        core = SchedulerService(service_config(tmp_path, faults_path=str(plan_path)))
+        submit_batch(core)
+        for _ in range(3):
+            core.advance_round()
+        assert core.faultctl("status")["failed_servers"] == [1]
+
+    def test_snapshot_restore_preserves_fault_state(self, tmp_path):
+        """Satellite: kill a server, snapshot, restore — the revived
+        daemon still knows the server is dead and recovers the queued
+        tasks exactly like the uninterrupted original."""
+        snap_dir = tmp_path / "snaps"
+        config = service_config(tmp_path, snapshot_dir=str(snap_dir))
+        core = SchedulerService(config)
+        outcomes = submit_batch(core)
+        for _ in range(3):
+            core.advance_round()
+        core.faultctl("server_crash", server_id=0)
+        core.advance_round()  # crash applied: tasks killed and re-queued
+        assert core.engine.cluster.server(0).failed
+        assert core.snapshot_now() is not None
+
+        restored = SchedulerService.restore(snap_dir)
+        # The dead server and the injector identity survive the pickle.
+        assert restored.engine.cluster.server(0).failed
+        assert restored.fault_injector is restored.engine.faults
+        assert restored.fault_injector.counters["tasks_killed"] > 0
+
+        core.drain()
+        restored.drain()
+        assert job_tuples(restored.engine.metrics) == job_tuples(core.engine.metrics)
+        for outcome in outcomes:
+            assert restored.status(outcome["job_id"])["state"] == "completed"
+
+    def test_snapshot_carries_pending_faultctl_events(self, tmp_path):
+        snap_dir = tmp_path / "snaps"
+        core = SchedulerService(service_config(tmp_path, snapshot_dir=str(snap_dir)))
+        submit_batch(core)
+        core.advance_round()
+        core.faultctl("server_crash", server_id=2)  # still pending…
+        assert core.snapshot_now() is not None  # …when the snapshot is cut
+
+        restored = SchedulerService.restore(snap_dir)
+        assert len(restored.fault_injector.pending) == 1
+        restored.advance_round()
+        assert restored.engine.cluster.server(2).failed

@@ -1,0 +1,125 @@
+"""Gateway front-tier throughput benchmark.
+
+Boots a real gateway over N worker daemons and replays a seeded
+synthetic submission stream (``repro.gateway.loadgen``) through the
+batch path, measuring what the front tier is built for:
+
+* sustained submissions per wall-clock second;
+* p50/p95/p99 admission latency (a job's latency is the round trip of
+  the batch call that carried it);
+* integrity — every generated job id back exactly once (zero lost,
+  zero duplicated) and clean worker shutdown afterwards.
+
+Writes ``BENCH_gateway.json`` at the repo root.  Defaults replay 100k
+submissions across 4 workers; the CI smoke step runs a small
+configuration::
+
+    python benchmarks/bench_gateway.py --count 1000 --workers 2
+
+Thread spawn mode (the default) measures the protocol/routing path
+without fork noise; ``--spawn process`` exercises the production shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.gateway import GatewayConfig, ThreadedGateway, run_loadgen  # noqa: E402
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_gateway.json"
+
+
+def run_bench(
+    count: int,
+    workers: int,
+    batch: int,
+    tenants: int,
+    seed: int,
+    spawn: str,
+    out_path: Path,
+) -> dict:
+    """One full gateway bench run; returns (and writes) the result."""
+    with tempfile.TemporaryDirectory(prefix="bench-gateway-") as tmp:
+        config = GatewayConfig(
+            workers=workers,
+            spawn=spawn,
+            workdir=str(Path(tmp) / "gw"),
+            round_interval=0.0,  # rounds only on demand: pure ingest path
+            gossip_interval=0.0,
+            telemetry=False,  # no per-round JSONL cost in the hot path
+        )
+        started = time.perf_counter()
+        with ThreadedGateway(config) as gateway:
+            ready_seconds = time.perf_counter() - started
+            result = run_loadgen(
+                gateway.target,
+                count=count,
+                batch=batch,
+                tenants=tenants,
+                seed=seed,
+                progress_every=max(count // 10, 1),
+                progress=lambda done, total: print(
+                    f"[bench_gateway] {done}/{total}", file=sys.stderr
+                ),
+            )
+            assert gateway.supervisor is not None
+            exit_codes = dict(gateway.supervisor.exit_codes())
+        clean_shutdown = all(
+            code in (0, None) for code in exit_codes.values()
+        ) or spawn == "thread"
+    payload = {
+        "bench": "gateway",
+        "workers": workers,
+        "spawn": spawn,
+        "startup_seconds": ready_seconds,
+        "clean_shutdown": clean_shutdown,
+        "worker_exit_codes": {str(k): v for k, v in exit_codes.items()},
+        **result,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=100_000)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--batch", type=int, default=500)
+    parser.add_argument("--tenants", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--spawn", choices=["thread", "process"], default="thread")
+    parser.add_argument("--out", default=str(OUT_PATH))
+    args = parser.parse_args(argv)
+
+    payload = run_bench(
+        count=args.count,
+        workers=args.workers,
+        batch=args.batch,
+        tenants=args.tenants,
+        seed=args.seed,
+        spawn=args.spawn,
+        out_path=Path(args.out),
+    )
+    print(
+        f"gateway bench: {payload['count']} submissions over"
+        f" {payload['workers']} workers ({payload['spawn']}) ->"
+        f" {payload['submissions_per_sec']:.0f} subs/s,"
+        f" p99 {payload['latency_ms']['p99']:.2f} ms,"
+        f" lost {payload['lost']}, duplicated {payload['duplicated']},"
+        f" clean_shutdown {payload['clean_shutdown']}"
+    )
+    print(f"wrote {args.out}")
+    if payload["lost"] or payload["duplicated"] or not payload["clean_shutdown"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

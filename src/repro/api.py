@@ -37,6 +37,7 @@ from repro.exp.runner import (
 )
 from repro.exp.spec import (
     ClusterSpec,
+    GatewaySpec,
     PretrainSpec,
     RunSpec,
     SchedulerSpec,
@@ -57,6 +58,7 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "GatewaySpec",
     "Grid",
     "MLFSConfig",
     "PretrainSpec",

@@ -108,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--snapshot-every", type=int, default=10, help="rounds")
     p_serve.add_argument("--telemetry", default=None, help="telemetry JSONL path")
     p_serve.add_argument(
+        "--telemetry-obs",
+        choices=["full", "deterministic", "none"],
+        default="full",
+        help="obs snapshot embedded per telemetry record"
+        " (deterministic = drop wall-clock families)",
+    )
+    p_serve.add_argument(
         "--trace",
         default=None,
         help="write a Chrome-trace JSON of scheduler-phase spans here on shutdown",
@@ -148,8 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sub.add_argument("--timeout", type=float, default=300.0)
 
-    p_ctl = sub.add_parser("ctl", help="control a running daemon")
-    p_ctl.add_argument("--socket", default="repro-service.sock")
+    p_ctl = sub.add_parser("ctl", help="control a running daemon or gateway")
+    p_ctl.add_argument(
+        "--socket",
+        default="repro-service.sock",
+        help="Unix socket path, or a host:port / tcp:// gateway target",
+    )
     p_ctl.add_argument(
         "--format",
         choices=["json", "prom"],
@@ -166,6 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
             "cancel",
             "snapshot",
             "ping",
+            "workers",
+            "gossip",
             "shutdown",
             "faultctl",
         ],
@@ -187,6 +200,82 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="faultctl straggler_start iteration-time multiplier",
+    )
+
+    p_gw = sub.add_parser(
+        "gateway", help="run the sharded front tier over N scheduler daemons"
+    )
+    p_gw.add_argument("--workers", type=int, default=2)
+    p_gw.add_argument(
+        "--listen",
+        default="127.0.0.1:7463",
+        help="TCP host:port for client ingress ('' disables TCP)",
+    )
+    p_gw.add_argument(
+        "--socket", default=None, help="also listen on this Unix socket"
+    )
+    p_gw.add_argument("--workdir", default="gateway-run")
+    p_gw.add_argument(
+        "--spawn", choices=["process", "thread"], default="process"
+    )
+    p_gw.add_argument("--ring-replicas", type=int, default=64)
+    p_gw.add_argument("--ring-seed", type=int, default=0)
+    p_gw.add_argument("--scheduler", default="MLF-H")
+    p_gw.add_argument("--servers-per-worker", type=int, default=4)
+    p_gw.add_argument("--gpus-per-server", type=int, default=4)
+    p_gw.add_argument("--tick-seconds", type=float, default=60.0)
+    p_gw.add_argument("--seed", type=int, default=0)
+    p_gw.add_argument(
+        "--round-interval",
+        type=float,
+        default=1.0,
+        help="per-worker real seconds between rounds (0 = only on step/drain)",
+    )
+    p_gw.add_argument(
+        "--admission-policy", choices=["queue", "reject"], default="queue"
+    )
+    p_gw.add_argument("--admission-threshold", type=float, default=0.90)
+    p_gw.add_argument(
+        "--global-threshold",
+        type=float,
+        default=None,
+        help="cluster-wide h_s enforced at the gateway door (default: off)",
+    )
+    p_gw.add_argument("--global-alpha", type=float, default=0.5)
+    p_gw.add_argument(
+        "--gossip-interval",
+        type=float,
+        default=1.0,
+        help="seconds between occupancy/health polls (0 disables)",
+    )
+    p_gw.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="do not write per-worker telemetry JSONL files",
+    )
+    p_gw.add_argument(
+        "--telemetry-obs",
+        choices=["full", "deterministic", "none"],
+        default="deterministic",
+    )
+    p_gw.add_argument("--restart-limit", type=int, default=3)
+
+    p_lg = sub.add_parser(
+        "loadgen", help="replay a seeded submission stream against a gateway"
+    )
+    p_lg.add_argument(
+        "--target",
+        default="127.0.0.1:7463",
+        help="gateway/daemon target (host:port, tcp://, unix:// or a path)",
+    )
+    p_lg.add_argument("--count", type=int, default=10_000)
+    p_lg.add_argument("--batch", type=int, default=200)
+    p_lg.add_argument("--tenants", type=int, default=16)
+    p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument("--timeout", type=float, default=120.0)
+    p_lg.add_argument("--out", default=None, help="write the result JSON here")
+    p_lg.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines on stderr"
     )
 
     p_report = sub.add_parser(
@@ -330,6 +419,7 @@ def cmd_serve(args) -> int:
         rl_switch_decisions=args.rl_switch_decisions,
         sanitize=True if args.sanitize else None,
         faults_path=args.faults,
+        telemetry_obs=args.telemetry_obs,
     )
     print(f"repro daemon listening on {args.socket} (scheduler={args.scheduler})")
     try:
@@ -351,7 +441,8 @@ def _client_errors(fn):
         except ServiceError as exc:
             print(f"error: {exc}", file=sys.stderr)
         except (ConnectionRefusedError, FileNotFoundError):
-            print(f"error: no daemon listening on {args.socket}", file=sys.stderr)
+            target = getattr(args, "socket", None) or getattr(args, "target", "?")
+            print(f"error: no daemon listening on {target}", file=sys.stderr)
         return 1
 
     return wrapper
@@ -419,12 +510,89 @@ def cmd_ctl(args) -> int:
         elif args.verb == "snapshot":
             out = {"path": client.snapshot()}
         elif args.verb == "ping":
-            out = {"pong": client.ping()}
+            out = client.ping_info()
+        elif args.verb == "workers":
+            out = client.workers()
+        elif args.verb == "gossip":
+            out = client.gossip()
         else:  # shutdown
             client.shutdown()
             out = {"stopping": True}
     print(json.dumps(out, indent=2))
     return 0
+
+
+def cmd_gateway(args) -> int:
+    """Run the gateway (plus its workers) until shutdown."""
+    from repro.gateway import GatewayConfig, run_gateway
+
+    config = GatewayConfig(
+        listen=args.listen or None,
+        socket_path=args.socket,
+        workers=args.workers,
+        ring_replicas=args.ring_replicas,
+        ring_seed=args.ring_seed,
+        scheduler=args.scheduler,
+        servers_per_worker=args.servers_per_worker,
+        gpus_per_server=args.gpus_per_server,
+        tick_seconds=args.tick_seconds,
+        seed=args.seed,
+        round_interval=args.round_interval,
+        admission_policy=args.admission_policy,
+        admission_threshold=args.admission_threshold,
+        global_threshold=args.global_threshold,
+        global_alpha=args.global_alpha,
+        gossip_interval=args.gossip_interval,
+        workdir=args.workdir,
+        spawn=args.spawn,
+        telemetry=not args.no_telemetry,
+        telemetry_obs=args.telemetry_obs,
+        restart_limit=args.restart_limit,
+    )
+    where = " and ".join(
+        part
+        for part in (
+            config.listen and f"tcp {config.listen}",
+            config.socket_path and f"unix {config.socket_path}",
+        )
+        if part
+    )
+    print(
+        f"repro gateway: {config.workers} workers ({config.spawn})"
+        f" on {where or 'nothing?'}"
+    )
+    try:
+        asyncio.run(run_gateway(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+@_client_errors
+def cmd_loadgen(args) -> int:
+    """Replay a seeded submission stream; print the measured result."""
+    from repro.gateway import run_loadgen
+
+    def progress(done: int, total: int) -> None:
+        print(f"[loadgen] {done}/{total}", file=sys.stderr)
+
+    result = run_loadgen(
+        args.target,
+        count=args.count,
+        batch=args.batch,
+        tenants=args.tenants,
+        seed=args.seed,
+        timeout=args.timeout,
+        progress_every=None if args.quiet else max(args.count // 10, 1),
+        progress=None if args.quiet else progress,
+    )
+    print(json.dumps(result, indent=2))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 1 if result["lost"] or result["duplicated"] else 0
 
 
 def cmd_report(args) -> int:
@@ -543,6 +711,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": cmd_serve,
         "submit": cmd_submit,
         "ctl": cmd_ctl,
+        "gateway": cmd_gateway,
+        "loadgen": cmd_loadgen,
         "report": cmd_report,
         "sweep": cmd_sweep,
         "lint": cmd_lint,

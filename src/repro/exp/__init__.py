@@ -22,6 +22,7 @@ from repro.exp.runner import (
 from repro.exp.spec import (
     SPEC_FORMAT,
     ClusterSpec,
+    GatewaySpec,
     PretrainSpec,
     RunSpec,
     SchedulerSpec,
@@ -31,6 +32,7 @@ from repro.exp.spec import (
 
 __all__ = [
     "ClusterSpec",
+    "GatewaySpec",
     "Grid",
     "PretrainSpec",
     "RESULTS_FORMAT",

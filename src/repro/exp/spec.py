@@ -36,6 +36,7 @@ from repro.workload.trace import TraceRecord, read_trace
 
 __all__ = [
     "ClusterSpec",
+    "GatewaySpec",
     "PretrainSpec",
     "RunSpec",
     "SchedulerSpec",
@@ -308,6 +309,109 @@ class RunSpec:
         return (
             f"{self.scheduler.name}/j{self.workload.num_jobs}"
             f"/s{self.seed}/{self.digest()[:8]}"
+        )
+
+
+@dataclass(frozen=True)
+class GatewaySpec:
+    """Everything that determines a gateway deployment's behaviour.
+
+    The declarative form of :class:`repro.gateway.GatewayConfig` minus
+    the runtime-only knobs (listen address, workdir, spawn mode, poll
+    intervals): exactly the fields the determinism contract (DESIGN.md
+    §12) says must match for two gateways to route and schedule one
+    submission trace identically.  ``digest()`` is therefore the
+    replay-cache key for gateway benchmarks.
+    """
+
+    workers: int = 4
+    ring_replicas: int = 64
+    ring_seed: int = 0
+    scheduler: str = "MLF-H"
+    servers_per_worker: int = 4
+    gpus_per_server: int = 4
+    tick_seconds: float = 60.0
+    seed: int = 0
+    admission_policy: str = "queue"
+    admission_threshold: float = 0.90
+    global_threshold: Optional[float] = None
+    global_alpha: float = 0.5
+    telemetry_obs: str = "deterministic"
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready representation (exact inverse of ``from_json``)."""
+        return {
+            "workers": self.workers,
+            "ring_replicas": self.ring_replicas,
+            "ring_seed": self.ring_seed,
+            "scheduler": self.scheduler,
+            "servers_per_worker": self.servers_per_worker,
+            "gpus_per_server": self.gpus_per_server,
+            "tick_seconds": self.tick_seconds,
+            "seed": self.seed,
+            "admission_policy": self.admission_policy,
+            "admission_threshold": self.admission_threshold,
+            "global_threshold": self.global_threshold,
+            "global_alpha": self.global_alpha,
+            "telemetry_obs": self.telemetry_obs,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "GatewaySpec":
+        """Inverse of :meth:`to_json`."""
+        global_threshold = data.get("global_threshold")
+        return cls(
+            workers=int(data["workers"]),
+            ring_replicas=int(data.get("ring_replicas", 64)),
+            ring_seed=int(data.get("ring_seed", 0)),
+            scheduler=str(data.get("scheduler", "MLF-H")),
+            servers_per_worker=int(data.get("servers_per_worker", 4)),
+            gpus_per_server=int(data.get("gpus_per_server", 4)),
+            tick_seconds=float(data.get("tick_seconds", 60.0)),
+            seed=int(data.get("seed", 0)),
+            admission_policy=str(data.get("admission_policy", "queue")),
+            admission_threshold=float(data.get("admission_threshold", 0.90)),
+            global_threshold=(
+                float(global_threshold) if global_threshold is not None else None
+            ),
+            global_alpha=float(data.get("global_alpha", 0.5)),
+            telemetry_obs=str(data.get("telemetry_obs", "deterministic")),
+        )
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON form (the determinism key)."""
+        return _digest_of(self.to_json())
+
+    def gateway_config(
+        self, workdir: str, *, spawn: str = "process", listen: str = "127.0.0.1:0"
+    ) -> Any:
+        """A deterministic-replay :class:`repro.gateway.GatewayConfig`.
+
+        Rounds advance only on explicit ``step``/``drain`` and the poll
+        loop is off, so worker state is a pure function of the
+        submission trace (imported lazily to keep spec loading light).
+        """
+        from repro.gateway import GatewayConfig
+
+        return GatewayConfig(
+            listen=listen,
+            workers=self.workers,
+            ring_replicas=self.ring_replicas,
+            ring_seed=self.ring_seed,
+            scheduler=self.scheduler,
+            servers_per_worker=self.servers_per_worker,
+            gpus_per_server=self.gpus_per_server,
+            tick_seconds=self.tick_seconds,
+            seed=self.seed,
+            round_interval=0.0,
+            admission_policy=self.admission_policy,
+            admission_threshold=self.admission_threshold,
+            global_threshold=self.global_threshold,
+            global_alpha=self.global_alpha,
+            gossip_interval=0.0,
+            workdir=workdir,
+            spawn=spawn,
+            telemetry_obs=self.telemetry_obs,
         )
 
 

@@ -1,0 +1,177 @@
+"""Cluster-wide occupancy gossip across scheduler partitions.
+
+Each worker daemon knows only its own cluster's overload degree
+``O_c``; the paper's admission rule (queue/reject while ``O_c > h_s``,
+Section 3.5) is *global*.  The gateway closes that gap with a small
+occupancy board:
+
+* every forwarded submission's response carries the worker's smoothed
+  ``O_c`` — traffic itself gossips occupancy, deterministically (the
+  board state is a pure function of the submission trace);
+* a periodic poll loop additionally refreshes idle partitions and
+  doubles as the health check (liveness + round-trip latency feed the
+  ``repro ctl workers`` verb and the obs gauges).
+
+:class:`GlobalAdmission` then applies the paper's predicate to the
+aggregated view: the cluster-wide ``O_c`` is the server-count-weighted
+mean of the per-partition degrees (with homogeneous workers this is
+exactly what a single cluster of the union of servers would report),
+smoothed through the same :class:`~repro.core.overload.OverloadTracker`
+EWMA the per-worker admission controller uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.core.overload import OverloadTracker
+from repro.service.admission import AdmissionDecision
+
+__all__ = ["GlobalAdmission", "OccupancyBoard", "PartitionSample"]
+
+
+@dataclass
+class PartitionSample:
+    """The last-known occupancy of one partition."""
+
+    partition: int
+    overload_degree: float = 0.0
+    active_jobs: int = 0
+    queue_depth: int = 0
+    admission_queue_depth: int = 0
+    alive: bool = True
+    rtt_ms: float = 0.0
+    #: Monotone update counter (how fresh this sample is, without
+    #: touching the wall clock).
+    seq: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "partition": self.partition,
+            "overload_degree": self.overload_degree,
+            "active_jobs": self.active_jobs,
+            "queue_depth": self.queue_depth,
+            "admission_queue_depth": self.admission_queue_depth,
+            "alive": self.alive,
+            "rtt_ms": self.rtt_ms,
+            "seq": self.seq,
+        }
+
+
+@dataclass
+class OccupancyBoard:
+    """Per-partition occupancy samples plus cluster-wide aggregation."""
+
+    partitions: dict[int, PartitionSample] = field(default_factory=dict)
+
+    @classmethod
+    def for_partitions(cls, partitions: Iterable[int]) -> "OccupancyBoard":
+        """A board with one empty sample per partition."""
+        return cls({p: PartitionSample(partition=p) for p in partitions})
+
+    def update(
+        self,
+        partition: int,
+        *,
+        overload_degree: Optional[float] = None,
+        active_jobs: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+        admission_queue_depth: Optional[int] = None,
+        rtt_ms: Optional[float] = None,
+    ) -> PartitionSample:
+        """Fold one observation into a partition's sample."""
+        sample = self.partitions.setdefault(
+            partition, PartitionSample(partition=partition)
+        )
+        if overload_degree is not None:
+            sample.overload_degree = float(overload_degree)
+        if active_jobs is not None:
+            sample.active_jobs = int(active_jobs)
+        if queue_depth is not None:
+            sample.queue_depth = int(queue_depth)
+        if admission_queue_depth is not None:
+            sample.admission_queue_depth = int(admission_queue_depth)
+        if rtt_ms is not None:
+            sample.rtt_ms = float(rtt_ms)
+        sample.alive = True
+        sample.seq += 1
+        return sample
+
+    def mark_down(self, partition: int) -> None:
+        """Record that a partition stopped answering."""
+        sample = self.partitions.setdefault(
+            partition, PartitionSample(partition=partition)
+        )
+        sample.alive = False
+        sample.seq += 1
+
+    # -- aggregation -------------------------------------------------------
+
+    def cluster_overload(self) -> float:
+        """Cluster-wide ``O_c``: the mean over live partitions.
+
+        Partitions are homogeneous (same server count), so the mean of
+        the per-partition degrees equals the degree one cluster of all
+        the servers would report.  An empty/dead board reads 0.0.
+        """
+        live = [s.overload_degree for s in self.partitions.values() if s.alive]
+        if not live:
+            return 0.0
+        return sum(live) / len(live)
+
+    def totals(self) -> dict[str, int]:
+        """Sums of the additive per-partition quantities."""
+        return {
+            "active_jobs": sum(s.active_jobs for s in self.partitions.values()),
+            "queue_depth": sum(s.queue_depth for s in self.partitions.values()),
+            "admission_queue_depth": sum(
+                s.admission_queue_depth for s in self.partitions.values()
+            ),
+            "partitions_alive": sum(
+                1 for s in self.partitions.values() if s.alive
+            ),
+            "partitions_total": len(self.partitions),
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """The whole board, JSON-ready (``gossip``/``metrics`` verbs)."""
+        return {
+            "partitions": {
+                str(p): s.as_dict() for p, s in sorted(self.partitions.items())
+            },
+            "cluster": {
+                "overload_degree": self.cluster_overload(),
+                **self.totals(),
+            },
+        }
+
+
+@dataclass
+class GlobalAdmission:
+    """The paper's ``O_c > h_s`` gate applied at the gateway door.
+
+    ``threshold=None`` disables the door entirely (each worker still
+    enforces its local gate); otherwise submissions arriving while the
+    smoothed cluster-wide overload exceeds ``h_s`` are rejected at the
+    front tier, before any forwarding.  The gateway has no admission
+    queue of its own — parked work lives in the per-worker queues — so
+    the only door policy is reject (back-pressure toward the client).
+    """
+
+    threshold: Optional[float] = None
+    alpha: float = 0.5
+    tracker: OverloadTracker = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.tracker = OverloadTracker(alpha=self.alpha)
+
+    def check(self, board: OccupancyBoard) -> AdmissionDecision:
+        """Admit or reject a submission arriving right now."""
+        if self.threshold is None:
+            return AdmissionDecision.ADMIT
+        self.tracker.observe(board.cluster_overload())
+        if self.tracker.exceeds(self.threshold):
+            return AdmissionDecision.REJECT
+        return AdmissionDecision.ADMIT

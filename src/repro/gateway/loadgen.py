@@ -1,0 +1,147 @@
+"""Deterministic load generator for the gateway front tier.
+
+Replays a seeded synthetic submission stream — batched ``submit_batch``
+calls over the normal client — against a gateway (or a bare worker) and
+measures what the front tier is for:
+
+* sustained throughput (submissions per wall-clock second);
+* per-submission admission latency (a job's latency is the round-trip
+  time of the batch call that carried it — an honest upper bound on its
+  individual admission time), reported as p50/p95/p99;
+* integrity: every generated job id must come back exactly once, with a
+  definite outcome — zero lost, zero duplicated.
+
+The payload stream is a pure function of ``(count, tenants, seed)``:
+the same arguments generate byte-identical submissions, which is what
+lets the determinism tests replay one trace against two gateways and
+diff their per-worker telemetry bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+from typing import Any, Iterator, Optional
+
+from repro.analysis.cdf import percentile_sorted
+from repro.service.client import ServiceClient
+from repro.workload.models import MODEL_NAMES
+
+__all__ = ["generate_payloads", "run_loadgen"]
+
+
+def generate_payloads(
+    count: int, tenants: int = 16, seed: int = 0
+) -> Iterator[dict[str, Any]]:
+    """A seeded stream of ``count`` submission payloads.
+
+    Job ids are sequential (``lg-0000000`` …) so integrity checks are
+    trivial; every other field is drawn from a dedicated RNG stream.
+    """
+    rng = random.Random(seed)
+    for index in range(count):
+        yield {
+            "job_id": f"lg-{index:07d}",
+            "tenant": f"tenant-{rng.randrange(tenants):04d}",
+            "model_name": rng.choice(MODEL_NAMES),
+            "gpus_requested": rng.choice((1, 2, 4, 8)),
+            "max_iterations": rng.randrange(5, 40),
+            "accuracy_requirement": round(rng.uniform(0.5, 0.95), 3),
+            "urgency": rng.randrange(0, 10),
+            "training_data_mb": float(rng.randrange(100, 2000)),
+        }
+
+
+def run_loadgen(
+    target: str,
+    count: int = 100_000,
+    batch: int = 200,
+    tenants: int = 16,
+    seed: int = 0,
+    timeout: float = 120.0,
+    progress_every: Optional[int] = None,
+    progress: Any = None,
+) -> dict[str, Any]:
+    """Replay ``count`` submissions against ``target``; measure and verify.
+
+    ``progress`` (when given) is called as ``progress(done, count)``
+    every ``progress_every`` submissions — the CLI uses it to report
+    without this module printing anything itself.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    outcomes: Counter[str] = Counter()
+    per_partition: Counter[str] = Counter()
+    seen_ids: set[str] = set()
+    latencies_ms: list[float] = []
+    payloads = generate_payloads(count, tenants=tenants, seed=seed)
+    sent = 0
+    with ServiceClient(target, timeout=timeout) as client:
+        started = time.perf_counter()
+        pending: list[dict[str, Any]] = []
+        for payload in payloads:
+            pending.append(payload)
+            if len(pending) < batch:
+                continue
+            sent += _flush(
+                client, pending, outcomes, per_partition, seen_ids, latencies_ms
+            )
+            pending = []
+            if progress and progress_every and sent % progress_every < batch:
+                progress(sent, count)
+        if pending:
+            sent += _flush(
+                client, pending, outcomes, per_partition, seen_ids, latencies_ms
+            )
+        elapsed = time.perf_counter() - started
+    lost = count - len(seen_ids)
+    duplicates = sent - len(seen_ids)
+    latencies_ms.sort()
+    return {
+        "count": count,
+        "batch": batch,
+        "tenants": tenants,
+        "seed": seed,
+        "elapsed_seconds": elapsed,
+        "submissions_per_sec": count / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "p50": percentile_sorted(latencies_ms, 50.0),
+            "p95": percentile_sorted(latencies_ms, 95.0),
+            "p99": percentile_sorted(latencies_ms, 99.0),
+            "max": latencies_ms[-1],
+        },
+        "outcomes": dict(sorted(outcomes.items())),
+        "per_partition": dict(sorted(per_partition.items())),
+        "lost": lost,
+        "duplicated": duplicates,
+    }
+
+
+def _flush(
+    client: ServiceClient,
+    pending: list[dict[str, Any]],
+    outcomes: Counter,
+    per_partition: Counter,
+    seen_ids: set[str],
+    latencies_ms: list[float],
+) -> int:
+    """Send one batch; fold its results into the accumulators."""
+    started = time.perf_counter()
+    results = client.submit_batch(pending)
+    rtt_ms = (time.perf_counter() - started) * 1000.0
+    if len(results) != len(pending):
+        raise RuntimeError(
+            f"batch returned {len(results)} results for {len(pending)} jobs"
+        )
+    for result in results:
+        outcomes[result.get("status", "error")] += 1
+        if "partition" in result:
+            per_partition[str(result["partition"])] += 1
+        job_id = result.get("job_id")
+        if job_id:
+            seen_ids.add(job_id)
+        latencies_ms.append(rtt_ms)
+    return len(results)

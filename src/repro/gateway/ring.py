@@ -1,0 +1,152 @@
+"""Deterministic consistent-hash ring for partition routing.
+
+The gateway maps every submission to one of N scheduler partitions by
+hashing its routing key (tenant id, falling back to job id) onto a ring
+of virtual nodes.  Classic consistent hashing gives the two properties
+the front tier needs:
+
+* **uniformity** — with enough virtual nodes per partition (the
+  ``replicas`` knob) keys spread evenly, so no worker becomes the hot
+  shard by accident;
+* **minimal movement** — when a partition joins, the only keys that
+  change owner are the ones the new partition takes over; when one
+  leaves, only its own keys move.  Everything else keeps its placement,
+  which is what lets a supervisor restart or scale workers without
+  reshuffling every tenant.
+
+Everything is seeded and content-addressed: the ring layout is a pure
+function of ``(nodes, replicas, seed)``, hashed with SHA-256 (never
+Python's randomized ``hash``), so two gateways built from the same
+config route identically — the bedrock of the per-partition determinism
+contract (DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+__all__ = ["HashRing", "RingConfig"]
+
+
+def _hash64(data: str) -> int:
+    """First 8 bytes of SHA-256 as a big-endian integer."""
+    return int.from_bytes(hashlib.sha256(data.encode("utf-8")).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class RingConfig:
+    """The ring layout parameters (part of the gateway's determinism key)."""
+
+    replicas: int = 64
+    seed: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {"replicas": self.replicas, "seed": self.seed}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "RingConfig":
+        """Inverse of :meth:`to_json`."""
+        return cls(replicas=int(data["replicas"]), seed=int(data["seed"]))
+
+
+class HashRing:
+    """Consistent-hash ring over integer partition ids.
+
+    ``replicas`` virtual nodes per partition are placed at
+    ``sha256(seed|node|partition|replica)``; a key routes to the first
+    virtual node clockwise of ``sha256(seed|key|value)``.  Ties (hash
+    collisions) break on the partition id, deterministically.
+    """
+
+    def __init__(
+        self, nodes: Iterable[int] = (), replicas: int = 64, seed: int = 0
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self.seed = seed
+        self._nodes: set[int] = set()
+        #: Sorted ``(point, partition)`` pairs — the ring itself.
+        self._points: list[tuple[int, int]] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # -- membership --------------------------------------------------------
+
+    def _vnode_points(self, node: int) -> list[tuple[int, int]]:
+        return [
+            (_hash64(f"{self.seed}|node|{node}|{replica}"), node)
+            for replica in range(self.replicas)
+        ]
+
+    def add_node(self, node: int) -> None:
+        """Add a partition; only keys it takes over change owner."""
+        node = int(node)
+        if node in self._nodes:
+            raise ValueError(f"partition {node} already on the ring")
+        self._nodes.add(node)
+        self._points.extend(self._vnode_points(node))
+        self._points.sort()
+
+    def remove_node(self, node: int) -> None:
+        """Remove a partition; only its own keys change owner."""
+        node = int(node)
+        if node not in self._nodes:
+            raise ValueError(f"partition {node} not on the ring")
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    @property
+    def nodes(self) -> list[int]:
+        """Current partitions, sorted."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- routing -----------------------------------------------------------
+
+    def lookup(self, key: str) -> int:
+        """The partition owning ``key``."""
+        if not self._points:
+            raise ValueError("cannot route on an empty ring")
+        point = _hash64(f"{self.seed}|key|{key}")
+        index = bisect_right(self._points, (point, 2**63))
+        if index == len(self._points):
+            index = 0  # wrap past the highest virtual node
+        return self._points[index][1]
+
+    def spread(self, keys: Iterable[str]) -> dict[int, int]:
+        """Key count per partition (distribution diagnostics/tests)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts
+
+    # -- identity ----------------------------------------------------------
+
+    def layout_digest(self) -> str:
+        """SHA-256 over the full virtual-node table.
+
+        Two rings with equal digests route every possible key
+        identically; tests assert this bit-for-bit.
+        """
+        canonical = json.dumps(
+            {
+                "replicas": self.replicas,
+                "seed": self.seed,
+                "points": self._points,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def config(self) -> RingConfig:
+        """The layout parameters of this ring."""
+        return RingConfig(replicas=self.replicas, seed=self.seed)

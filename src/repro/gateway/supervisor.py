@@ -1,0 +1,306 @@
+"""Worker lifecycle: spawn, health-check, restart, stop N daemons.
+
+The supervisor owns one :class:`~repro.service.daemon.ServiceConfig`
+per partition and materializes each as a scheduler daemon in one of two
+spawn modes:
+
+* ``"process"`` — a real ``python -m repro serve`` subprocess per
+  partition (the production shape: isolation, true parallelism across
+  cores, stdout/stderr captured to ``worker.log`` in the partition's
+  work directory);
+* ``"thread"`` — an in-process
+  :class:`~repro.service.daemon.ThreadedDaemon` per partition (tests
+  and demos: no fork cost, same wire protocol over the same sockets).
+
+Readiness is probed through the normal client with its bounded
+connect-retry/backoff — no sleep-and-hope loops — and shutdown goes
+through the protocol's ``shutdown`` verb first (so workers flush
+telemetry and snapshot) before falling back to SIGTERM/kill.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Optional, Sequence
+
+import repro
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ServiceConfig, ThreadedDaemon
+
+__all__ = ["GatewayError", "WorkerHandle", "WorkerSupervisor"]
+
+
+class GatewayError(RuntimeError):
+    """A worker failed to start, answer, or stop."""
+
+
+def _worker_argv(config: ServiceConfig) -> list[str]:
+    """The ``repro serve`` command line equivalent to ``config``."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--socket",
+        config.socket_path,
+        "--scheduler",
+        config.scheduler,
+        "--servers",
+        str(config.servers),
+        "--gpus-per-server",
+        str(config.gpus_per_server),
+        "--tick-seconds",
+        str(config.tick_seconds),
+        "--seed",
+        str(config.seed),
+        "--round-interval",
+        str(config.round_interval),
+        "--admission-policy",
+        config.admission_policy,
+        "--admission-threshold",
+        str(config.admission_threshold),
+        "--telemetry-obs",
+        config.telemetry_obs,
+    ]
+    if config.telemetry_path:
+        argv += ["--telemetry", config.telemetry_path]
+    if config.snapshot_dir:
+        argv += ["--snapshot-dir", config.snapshot_dir, "--snapshot-every", str(config.snapshot_every)]
+    if config.faults_path:
+        argv += ["--faults", config.faults_path]
+    return argv
+
+
+def _worker_env() -> dict[str, str]:
+    """Subprocess env with the repro package importable."""
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+@dataclass
+class WorkerHandle:
+    """One partition's daemon: its config plus the live process/thread."""
+
+    partition: int
+    config: ServiceConfig
+    process: Optional[subprocess.Popen] = None
+    threaded: Optional[ThreadedDaemon] = None
+    log_handle: Optional[IO[bytes]] = field(default=None, repr=False)
+    restarts: int = 0
+    exit_code: Optional[int] = None
+
+    def alive(self) -> bool:
+        """Whether the daemon's process/thread is still running."""
+        if self.process is not None:
+            return self.process.poll() is None
+        if self.threaded is not None:
+            thread = self.threaded._thread
+            return thread is not None and thread.is_alive()
+        return False
+
+    def log_tail(self, lines: int = 20) -> str:
+        """The last lines of the worker's log (process mode only)."""
+        log_path = Path(self.config.socket_path).parent / "worker.log"
+        try:
+            content = log_path.read_text(errors="replace").splitlines()
+        except OSError:
+            return ""
+        return "\n".join(content[-lines:])
+
+
+class WorkerSupervisor:
+    """Starts, health-checks, restarts and stops the partition daemons."""
+
+    def __init__(
+        self,
+        configs: Sequence[ServiceConfig],
+        spawn: str = "process",
+        ready_timeout: float = 30.0,
+        restart_limit: int = 3,
+    ) -> None:
+        if spawn not in {"process", "thread"}:
+            raise ValueError(f"unknown spawn mode {spawn!r}")
+        if not configs:
+            raise ValueError("supervisor needs at least one worker config")
+        self.spawn = spawn
+        self.ready_timeout = ready_timeout
+        self.restart_limit = restart_limit
+        self.handles = [
+            WorkerHandle(partition=index, config=config)
+            for index, config in enumerate(configs)
+        ]
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn every worker, then wait until each answers ping."""
+        for handle in self.handles:
+            self._spawn(handle)
+        for handle in self.handles:
+            self._wait_ready(handle)
+        self._started = True
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        workdir = Path(handle.config.socket_path).parent
+        workdir.mkdir(parents=True, exist_ok=True)
+        handle.exit_code = None
+        if self.spawn == "process":
+            log = (workdir / "worker.log").open("ab")
+            handle.log_handle = log
+            handle.process = subprocess.Popen(
+                _worker_argv(handle.config),
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=_worker_env(),
+            )
+        else:
+            handle.threaded = ThreadedDaemon(handle.config)
+            handle.threaded.__enter__()
+
+    def _wait_ready(self, handle: WorkerHandle) -> None:
+        """Block until the worker answers ping (bounded retry/backoff)."""
+        client = ServiceClient(
+            handle.config.socket_path,
+            timeout=5.0,
+            connect_retries=40,
+            connect_backoff=0.02,
+            connect_backoff_cap=self.ready_timeout / 10.0,
+        )
+        try:
+            with client:
+                client.ping()
+        except (OSError, ServiceError) as exc:
+            tail = handle.log_tail()
+            detail = f"\n--- worker.log tail ---\n{tail}" if tail else ""
+            raise GatewayError(
+                f"partition {handle.partition} did not become ready: {exc}{detail}"
+            ) from exc
+
+    def restart(self, partition: int) -> WorkerHandle:
+        """Respawn one partition's daemon and wait for readiness."""
+        handle = self.handle(partition)
+        if handle.restarts >= self.restart_limit:
+            raise GatewayError(
+                f"partition {partition} exceeded restart limit"
+                f" ({self.restart_limit})"
+            )
+        self._stop_one(handle, graceful=False)
+        handle.restarts += 1
+        self._spawn(handle)
+        self._wait_ready(handle)
+        return handle
+
+    def stop(self) -> None:
+        """Stop every worker: shutdown verb first, then terminate/kill."""
+        for handle in self.handles:
+            self._stop_one(handle, graceful=True)
+
+    def _stop_one(self, handle: WorkerHandle, graceful: bool) -> None:
+        if graceful and handle.alive():
+            try:
+                with ServiceClient(
+                    handle.config.socket_path, timeout=5.0, connect_retries=0
+                ) as client:
+                    client.shutdown()
+            except (OSError, ServiceError):
+                pass  # fall through to terminate/kill below
+        if handle.process is not None:
+            try:
+                handle.exit_code = handle.process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                handle.process.terminate()
+                try:
+                    handle.exit_code = handle.process.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    handle.process.kill()
+                    handle.exit_code = handle.process.wait(timeout=5.0)
+            handle.process = None
+            if handle.log_handle is not None:
+                handle.log_handle.close()
+                handle.log_handle = None
+        if handle.threaded is not None:
+            handle.threaded.__exit__(None, None, None)
+            handle.exit_code = 0
+            handle.threaded = None
+
+    # -- inspection --------------------------------------------------------
+
+    def handle(self, partition: int) -> WorkerHandle:
+        """The handle of one partition."""
+        try:
+            return self.handles[partition]
+        except IndexError:
+            raise GatewayError(f"no partition {partition}") from None
+
+    def exit_codes(self) -> dict[int, Optional[int]]:
+        """Partition → recorded exit code (clean-shutdown assertions)."""
+        return {h.partition: h.exit_code for h in self.handles}
+
+    def statuses(self) -> list[dict[str, Any]]:
+        """One liveness row per partition (the ``workers`` verb)."""
+        return [
+            {
+                "partition": h.partition,
+                "alive": h.alive(),
+                "restarts": h.restarts,
+                "spawn": self.spawn,
+                "socket": h.config.socket_path,
+                "exit_code": h.exit_code,
+            }
+            for h in self.handles
+        ]
+
+
+def worker_service_configs(
+    workers: int,
+    workdir: str | Path,
+    *,
+    scheduler: str = "MLF-H",
+    servers_per_worker: int = 4,
+    gpus_per_server: int = 4,
+    tick_seconds: float = 60.0,
+    seed: int = 0,
+    round_interval: float = 1.0,
+    admission_policy: str = "queue",
+    admission_threshold: float = 0.90,
+    telemetry: bool = True,
+    telemetry_obs: str = "deterministic",
+) -> list[ServiceConfig]:
+    """One :class:`ServiceConfig` per partition under ``workdir``.
+
+    Partition ``i`` gets ``workdir/worker-i/`` (socket, telemetry, log)
+    and the derived seed ``seed + i`` — deterministic but distinct, so
+    same-config gateways spawn bit-identical partitions.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    configs = []
+    for partition in range(workers):
+        wdir = Path(workdir) / f"worker-{partition:02d}"
+        configs.append(
+            ServiceConfig(
+                socket_path=str(wdir / "worker.sock"),
+                scheduler=scheduler,
+                servers=servers_per_worker,
+                gpus_per_server=gpus_per_server,
+                tick_seconds=tick_seconds,
+                seed=seed + partition,
+                admission_policy=admission_policy,
+                admission_threshold=admission_threshold,
+                telemetry_path=str(wdir / "telemetry.jsonl") if telemetry else None,
+                round_interval=round_interval,
+                telemetry_obs=telemetry_obs,
+            )
+        )
+    return configs

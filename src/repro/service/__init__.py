@@ -20,7 +20,7 @@ from repro.service.admission import (
     AdmissionController,
     AdmissionPolicy,
 )
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import ServiceClient, ServiceError, parse_target
 from repro.service.daemon import (
     SchedulerDaemon,
     SchedulerService,
@@ -65,6 +65,7 @@ __all__ = [
     "encode_line",
     "parse_request",
     "parse_response",
+    "parse_target",
     "read_telemetry",
     "serve",
     "summarize_telemetry",

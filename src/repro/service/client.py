@@ -1,8 +1,24 @@
-"""Blocking client for the scheduler daemon.
+"""Blocking client for the scheduler daemon and the gateway front tier.
 
-Speaks the newline-delimited JSON protocol over a Unix domain socket.
-One request ↔ one response, in order, on one connection; the client is
-safe to reuse sequentially but is not thread-safe.
+Speaks the newline-delimited JSON protocol over a Unix domain socket or
+a TCP connection.  One request ↔ one response, in order, on one
+connection; the client is safe to reuse sequentially but is not
+thread-safe.
+
+Targets
+-------
+The constructor accepts any of:
+
+* a filesystem path (``"/tmp/repro.sock"``) — Unix domain socket;
+* ``"host:port"`` (``"127.0.0.1:7450"``) — TCP, how clients reach the
+  gateway front tier;
+* an explicit scheme: ``"unix:///tmp/repro.sock"`` or
+  ``"tcp://127.0.0.1:7450"``.
+
+Connection attempts retry with bounded exponential backoff on
+``ConnectionRefusedError`` / ``FileNotFoundError`` so a client started
+alongside a daemon (or the gateway supervisor waiting on a worker it
+just spawned) tolerates the short window before the socket exists.
 
 Usage::
 
@@ -25,31 +41,101 @@ from repro.service.protocol import (
     parse_response,
 )
 
+#: Errors worth retrying while a daemon is still starting up.
+_RETRYABLE = (ConnectionRefusedError, FileNotFoundError)
+
 
 class ServiceError(RuntimeError):
     """The daemon answered with an error response."""
 
 
-class ServiceClient:
-    """A small synchronous client for the daemon socket."""
+def parse_target(target: str) -> tuple[str, Any]:
+    """Classify a connection target.
 
-    def __init__(self, socket_path: str, timeout: float = 30.0) -> None:
-        self.socket_path = socket_path
+    Returns ``("unix", path)`` or ``("tcp", (host, port))``.  A bare
+    ``host:port`` (no slash, integer port) is TCP; anything else is a
+    Unix socket path.
+    """
+    if target.startswith("unix://"):
+        return "unix", target[len("unix://") :]
+    if target.startswith("tcp://"):
+        target = target[len("tcp://") :]
+        host, _, port = target.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"bad tcp target {target!r}; want host:port")
+        return "tcp", (host, int(port))
+    if "/" not in target and ":" in target:
+        host, _, port = target.rpartition(":")
+        if host and port.isdigit():
+            return "tcp", (host, int(port))
+    return "unix", target
+
+
+class ServiceClient:
+    """A small synchronous client for the daemon/gateway socket."""
+
+    def __init__(
+        self,
+        target: str,
+        timeout: float = 30.0,
+        connect_retries: int = 5,
+        connect_backoff: float = 0.05,
+        connect_backoff_cap: float = 1.0,
+    ) -> None:
+        self.target = target
         self.timeout = timeout
+        self.connect_retries = max(0, int(connect_retries))
+        self.connect_backoff = connect_backoff
+        self.connect_backoff_cap = connect_backoff_cap
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._next_id = 0
 
+    @property
+    def socket_path(self) -> str:
+        """Back-compat alias for the connection target."""
+        return self.target
+
     # -- connection --------------------------------------------------------
 
-    def connect(self) -> "ServiceClient":
-        """Open the connection (idempotent)."""
-        if self._sock is None:
+    def _open(self) -> socket.socket:
+        kind, address = parse_target(self.target)
+        if kind == "tcp":
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        else:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(self.timeout)
-            sock.connect(self.socket_path)
-            self._sock = sock
-            self._file = sock.makefile("rwb")
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(address)
+        except BaseException:
+            sock.close()
+            raise
+        return sock
+
+    def connect(self) -> "ServiceClient":
+        """Open the connection (idempotent), retrying with backoff.
+
+        Up to ``connect_retries`` re-attempts follow the first failure,
+        sleeping ``connect_backoff * 2**attempt`` (capped) between
+        tries, so a daemon that is still binding its socket does not
+        force callers into sleep-and-hope loops.  The final error is
+        re-raised unchanged.
+        """
+        if self._sock is not None:
+            return self
+        delay = self.connect_backoff
+        for attempt in range(self.connect_retries + 1):
+            try:
+                sock = self._open()
+                break
+            except _RETRYABLE:
+                if attempt >= self.connect_retries:
+                    raise
+                time.sleep(min(delay, self.connect_backoff_cap))
+                delay *= 2.0
+        self._sock = sock
+        self._file = sock.makefile("rwb")
         return self
 
     def close(self) -> None:
@@ -100,9 +186,25 @@ class ServiceClient:
         """Liveness probe."""
         return bool(self.call("ping").get("pong"))
 
+    def ping_info(self) -> dict[str, Any]:
+        """Liveness probe with the measured round-trip latency (ms)."""
+        start = time.perf_counter()
+        result = self.call("ping")
+        result["rtt_ms"] = (time.perf_counter() - start) * 1000.0
+        return result
+
     def submit(self, spec: JobSpec) -> dict[str, Any]:
         """Submit a job; returns job_id plus the admission outcome."""
         return self.call("submit", **spec.to_payload())
+
+    def submit_batch(self, specs: list[JobSpec] | list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Submit many jobs in one round trip; per-job outcomes in order."""
+        jobs = [
+            spec.to_payload() if isinstance(spec, JobSpec) else dict(spec)
+            for spec in specs
+        ]
+        out = self.call("submit_batch", jobs=jobs)
+        return list(out.get("results", []))
 
     def status(self, job_id: Optional[str] = None) -> dict[str, Any]:
         """Status of one job, or of every known job."""
@@ -133,6 +235,14 @@ class ServiceClient:
     def step(self, rounds: int = 1) -> dict[str, Any]:
         """Advance scheduler rounds without draining."""
         return self.call("step", rounds=rounds)
+
+    def workers(self) -> dict[str, Any]:
+        """Per-partition worker liveness (gateway only)."""
+        return self.call("workers")
+
+    def gossip(self) -> dict[str, Any]:
+        """Force an occupancy poll of every worker (gateway only)."""
+        return self.call("gossip")
 
     def faultctl(
         self,

@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import random
+import signal
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -40,6 +41,7 @@ from repro.service.admission import (
     AdmissionPolicy,
 )
 from repro.service.protocol import (
+    STREAM_LIMIT,
     JobSpec,
     ProtocolError,
     Request,
@@ -55,6 +57,10 @@ from repro.sim.interface import Scheduler
 from repro.workload.generator import WorkloadConfig, build_job
 from repro.workload.job import Job
 from repro.workload.trace import TraceRecord
+
+#: Metric families whose values derive from the wall clock; dropped
+#: from telemetry records under ``telemetry_obs="deterministic"``.
+WALL_CLOCK_FAMILIES = ("mlfs_scheduler_phase_seconds",)
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,11 @@ class ServiceConfig:
     #: (``serve --faults``).  ``None`` starts with an empty plan; the
     #: ``faultctl`` verb can still inject faults at runtime.
     faults_path: Optional[str] = None
+    #: What of the metrics registry each telemetry record embeds:
+    #: ``"full"`` (everything), ``"deterministic"`` (drop wall-clock
+    #: families so same-seed runs emit bit-identical JSONL — the
+    #: gateway's per-partition determinism contract), or ``"none"``.
+    telemetry_obs: str = "full"
 
 
 class SchedulerService:
@@ -227,6 +238,23 @@ class SchedulerService:
             "overload_degree": self.admission.tracker.value,
         }
 
+    def submit_batch(self, payloads: list[dict[str, Any]]) -> dict[str, Any]:
+        """Admit/queue/reject a batch; one bad spec fails only its slot."""
+        results: list[dict[str, Any]] = []
+        for payload in payloads:
+            try:
+                spec = JobSpec.from_payload(dict(payload))
+                results.append(self.submit(spec))
+            except ProtocolError as exc:
+                results.append(
+                    {
+                        "job_id": payload.get("job_id"),
+                        "status": "error",
+                        "error": str(exc),
+                    }
+                )
+        return {"results": results, "count": len(results)}
+
     def advance_round(self) -> RoundResult:
         """Run one scheduler round; release parked work; emit telemetry."""
         result = self.engine.step()
@@ -245,7 +273,16 @@ class SchedulerService:
                 overload_smoothed=self.admission.tracker.value,
                 jct_stats=self._jct_stats,
             )
-            record["obs"] = self.observer.registry.scalar_snapshot()
+            obs_mode = getattr(self.config, "telemetry_obs", "full")
+            if obs_mode != "none":
+                snapshot = self.observer.registry.scalar_snapshot()
+                if obs_mode == "deterministic":
+                    snapshot = {
+                        key: value
+                        for key, value in snapshot.items()
+                        if not key.startswith(WALL_CLOCK_FAMILIES)
+                    }
+                record["obs"] = snapshot
             self.telemetry.emit(record)
         if (
             self.snapshots is not None
@@ -467,7 +504,7 @@ class SchedulerDaemon:
             socket_path.unlink()
         socket_path.parent.mkdir(parents=True, exist_ok=True)
         self._server = await asyncio.start_unix_server(
-            self._handle_client, path=str(socket_path)
+            self._handle_client, path=str(socket_path), limit=STREAM_LIMIT
         )
         if self.core.config.round_interval > 0:
             self._round_task = asyncio.create_task(self._round_loop())
@@ -554,10 +591,18 @@ class SchedulerDaemon:
         core = self.core
         params = request.params
         if request.op == "ping":
-            return Response.success({"pong": True}, id=request.id)
+            return Response.success(
+                {"pong": True, "role": "daemon", "round": core.engine.round_index},
+                id=request.id,
+            )
         if request.op == "submit":
             spec = JobSpec.from_payload(params)
             return Response.success(core.submit(spec), id=request.id)
+        if request.op == "submit_batch":
+            jobs = params.get("jobs")
+            if not isinstance(jobs, list):
+                raise ProtocolError("submit_batch requires jobs (a list)")
+            return Response.success(core.submit_batch(jobs), id=request.id)
         if request.op == "status":
             return Response.success(core.status(params.get("job_id")), id=request.id)
         if request.op == "cancel":
@@ -635,7 +680,13 @@ class SchedulerDaemon:
 
 
 async def serve(config: Optional[ServiceConfig] = None, restore: bool = False) -> None:
-    """Run the daemon until shutdown (the ``repro serve`` entry point)."""
+    """Run the daemon until shutdown (the ``repro serve`` entry point).
+
+    SIGTERM/SIGINT trigger the same orderly stop as a ``shutdown``
+    request: the round loop halts, a final snapshot is written (when
+    configured), telemetry is flushed and the socket is removed — a
+    supervised worker never loses the tail of a run on shutdown.
+    """
     config = config or ServiceConfig()
     if restore:
         if not config.snapshot_dir:
@@ -646,7 +697,20 @@ async def serve(config: Optional[ServiceConfig] = None, restore: bool = False) -
     else:
         core = SchedulerService(config)
     daemon = SchedulerDaemon(core)
-    await daemon.serve_forever()
+    loop = asyncio.get_running_loop()
+    installed: list[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        # Non-main threads and non-POSIX loops cannot install handlers;
+        # the daemon still stops cleanly via the shutdown verb there.
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(sig, daemon._stop.set)
+            installed.append(sig)
+    try:
+        await daemon.serve_forever()
+    finally:
+        for sig in installed:
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                loop.remove_signal_handler(sig)
 
 
 class ThreadedDaemon:
@@ -681,7 +745,10 @@ class ThreadedDaemon:
 
     def __exit__(self, *exc_info) -> None:
         if self._loop is not None and self.daemon is not None:
-            self._loop.call_soon_threadsafe(self.daemon._stop.set)
+            # The loop may already be gone if someone sent the
+            # ``shutdown`` verb (e.g. a supervisor's graceful stop).
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self.daemon._stop.set)
         if self._thread is not None:
             self._thread.join(timeout=10.0)
 

@@ -10,6 +10,13 @@ Verbs
 -----
 ``submit``   Submit one job (a :class:`JobSpec`); admission control may
              admit, queue, or reject it.
+``submit_batch``
+             Submit many jobs in one round trip (``jobs`` is a list of
+             :class:`JobSpec` payloads).  Per-job outcomes come back in
+             submission order; one malformed spec fails only its own
+             slot, never the batch.  This is the verb the gateway uses
+             to pipeline a whole partition's worth of submissions to a
+             worker.
 ``status``   Status of one job (``job_id``) or of every known job.
 ``cancel``   Cancel a queued or running job.
 ``metrics``  Cluster/engine metrics summary.
@@ -25,8 +32,15 @@ Verbs
 ``step``     Advance a fixed number of scheduler rounds (keeps
              admitting; useful for tests and paced drivers).
 ``snapshot`` Force a snapshot to disk now.
-``ping``     Liveness probe.
+``ping``     Liveness probe (clients time it for round-trip latency).
+``workers``  Per-partition worker liveness (gateway only).
+``gossip``   Force an occupancy/health poll of every worker and return
+             the resulting occupancy board (gateway only).
 ``shutdown`` Stop the daemon (snapshotting first when configured).
+
+A gateway front tier (:mod:`repro.gateway`) speaks the same protocol
+over TCP and fans the verbs out across its partition workers, so one
+client library serves both tiers.
 """
 
 from __future__ import annotations
@@ -41,7 +55,10 @@ PROTOCOL_VERSION = 1
 VERBS = frozenset(
     {
         "submit",
+        "submit_batch",
         "status",
+        "workers",
+        "gossip",
         "cancel",
         "metrics",
         "metrics_text",
@@ -56,6 +73,13 @@ VERBS = frozenset(
 )
 
 
+#: asyncio stream line limit for every listener/connection speaking this
+#: protocol.  One ``submit_batch`` line carries the whole batch, so the
+#: default 64 KiB StreamReader limit truncates large batches; 16 MiB
+#: comfortably fits tens of thousands of jobs per line.
+STREAM_LIMIT = 16 * 1024 * 1024
+
+
 class ProtocolError(ValueError):
     """Malformed request or response line."""
 
@@ -66,6 +90,11 @@ class JobSpec:
 
     Mirrors :class:`repro.workload.trace.TraceRecord` minus arrival time
     (the daemon stamps arrivals with its own simulation clock).
+
+    ``tenant`` identifies the submitting tenant; the gateway's
+    consistent-hash ring routes on it (falling back to the job id) so
+    one tenant's jobs land on one partition.  A single daemon ignores
+    it beyond echoing it in ``status``.
     """
 
     model_name: str = "alexnet"
@@ -75,6 +104,7 @@ class JobSpec:
     urgency: int = 5
     training_data_mb: float = 500.0
     job_id: Optional[str] = None
+    tenant: Optional[str] = None
 
     def validate(self) -> None:
         """Raise ``ProtocolError`` on out-of-domain fields."""
@@ -90,10 +120,11 @@ class JobSpec:
             raise ProtocolError("training_data_mb must be positive")
 
     def to_payload(self) -> dict[str, Any]:
-        """The JSON-safe dict form."""
+        """The JSON-safe dict form (unset optional fields omitted)."""
         payload = asdict(self)
-        if payload["job_id"] is None:
-            del payload["job_id"]
+        for optional in ("job_id", "tenant"):
+            if payload[optional] is None:
+                del payload[optional]
         return payload
 
     @classmethod

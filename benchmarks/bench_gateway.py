@@ -18,6 +18,12 @@ configuration::
 
 Thread spawn mode (the default) measures the protocol/routing path
 without fork noise; ``--spawn process`` exercises the production shape.
+``--trace`` turns on distributed tracing end to end (client trace ids,
+gateway + worker spans) and writes the merged cluster Chrome trace plus
+the aggregated per-worker Prometheus exposure next to the result JSON —
+the traced run the observability acceptance check replays::
+
+    python benchmarks/bench_gateway.py --count 10000 --workers 4 --trace
 """
 
 from __future__ import annotations
@@ -32,6 +38,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.gateway import GatewayConfig, ThreadedGateway, run_loadgen  # noqa: E402
+from repro.obs.distributed import trace_summary  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_gateway.json"
 
@@ -44,6 +52,7 @@ def run_bench(
     seed: int,
     spawn: str,
     out_path: Path,
+    trace: bool = False,
 ) -> dict:
     """One full gateway bench run; returns (and writes) the result."""
     with tempfile.TemporaryDirectory(prefix="bench-gateway-") as tmp:
@@ -54,8 +63,11 @@ def run_bench(
             round_interval=0.0,  # rounds only on demand: pure ingest path
             gossip_interval=0.0,
             telemetry=False,  # no per-round JSONL cost in the hot path
+            trace=trace,
         )
         started = time.perf_counter()
+        trace_doc = None
+        metrics_text = None
         with ThreadedGateway(config) as gateway:
             ready_seconds = time.perf_counter() - started
             result = run_loadgen(
@@ -68,7 +80,12 @@ def run_bench(
                 progress=lambda done, total: print(
                     f"[bench_gateway] {done}/{total}", file=sys.stderr
                 ),
+                trace=trace,
             )
+            if trace:
+                with ServiceClient(gateway.target) as client:
+                    trace_doc = client.trace_dump()["trace"]
+                    metrics_text = client.metrics_text()
             assert gateway.supervisor is not None
             exit_codes = dict(gateway.supervisor.exit_codes())
         clean_shutdown = all(
@@ -83,6 +100,17 @@ def run_bench(
         "worker_exit_codes": {str(k): v for k, v in exit_codes.items()},
         **result,
     }
+    if trace_doc is not None:
+        trace_path = out_path.with_name(out_path.stem + ".trace.json")
+        trace_path.write_text(json.dumps(trace_doc, sort_keys=True) + "\n")
+        payload["trace_summary"] = trace_summary(trace_doc)
+        payload["trace_path"] = str(trace_path)
+        print(f"[bench_gateway] wrote {trace_path}", file=sys.stderr)
+    if metrics_text is not None:
+        prom_path = out_path.with_name(out_path.stem + ".metrics.prom")
+        prom_path.write_text(metrics_text)
+        payload["metrics_path"] = str(prom_path)
+        print(f"[bench_gateway] wrote {prom_path}", file=sys.stderr)
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 
@@ -96,6 +124,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--spawn", choices=["thread", "process"], default="thread")
     parser.add_argument("--out", default=str(OUT_PATH))
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="end-to-end tracing; writes <out>.trace.json + <out>.metrics.prom",
+    )
     args = parser.parse_args(argv)
 
     payload = run_bench(
@@ -106,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         spawn=args.spawn,
         out_path=Path(args.out),
+        trace=args.trace,
     )
     print(
         f"gateway bench: {payload['count']} submissions over"

@@ -19,7 +19,9 @@ from repro.analysis.tables import (
     summary_rows,
 )
 from repro.analysis.telemetry import (
+    gateway_telemetry_paths,
     load_telemetry,
+    render_gateway_report,
     render_telemetry_report,
     summary_table,
     telemetry_rows,
@@ -34,11 +36,13 @@ __all__ = [
     "cdf_at",
     "empirical_cdf",
     "format_table",
+    "gateway_telemetry_paths",
     "improvement",
     "load_telemetry",
     "log_spaced_points",
     "percentile",
     "percentile_sorted",
+    "render_gateway_report",
     "render_telemetry_report",
     "summary_rows",
     "summary_table",

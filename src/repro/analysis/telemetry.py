@@ -4,6 +4,11 @@ The daemon (:mod:`repro.service.telemetry`) emits one JSON record per
 scheduler round.  This module renders those streams with the same
 table/CDF tooling the batch benchmarks use, so online-service runs and
 batch-simulation runs report through one pipeline.
+
+Gateway runs leave one stream per partition
+(``<workdir>/worker-NN/telemetry.jsonl``); :func:`render_gateway_report`
+renders each partition's section plus a cluster rollup over all of them
+— ``repro report <workdir>`` picks it automatically for directories.
 """
 
 from __future__ import annotations
@@ -97,4 +102,76 @@ def render_telemetry_report(
         sections.append(telemetry_table(records, every=every, precision=precision))
     sections.append("## Summary")
     sections.append(summary_table(summarize_telemetry(records), precision=precision))
+    return "\n\n".join(sections)
+
+
+#: Per-partition summary fields that sum across the cluster; the rest
+#: (percentiles, ratios, depths) roll up as the max over partitions.
+_ROLLUP_SUMS = (
+    "rounds",
+    "jobs_completed",
+    "placements",
+    "migrations",
+    "evictions",
+    "stops",
+    "bandwidth_gb",
+)
+
+
+def gateway_telemetry_paths(workdir: str | Path) -> dict[str, Path]:
+    """``{partition name: telemetry path}`` under a gateway workdir."""
+    root = Path(workdir)
+    return {
+        worker.name: worker / "telemetry.jsonl"
+        for worker in sorted(root.glob("worker-*"))
+        if (worker / "telemetry.jsonl").is_file()
+    }
+
+
+def render_gateway_report(
+    workdir: str | Path,
+    every: int = 1,
+    rounds: bool = True,
+    precision: int = 2,
+) -> str:
+    """A multi-worker report over a gateway telemetry directory.
+
+    One section per partition (its own rounds/summary tables) followed
+    by a cluster rollup: additive aggregates summed across partitions,
+    peaks (queue depth, overload, JCT percentiles) as the per-partition
+    maximum.  Raises ``FileNotFoundError`` when the directory holds no
+    ``worker-*/telemetry.jsonl`` streams.
+    """
+    from repro.service.telemetry import summarize_telemetry
+
+    streams = gateway_telemetry_paths(workdir)
+    if not streams:
+        raise FileNotFoundError(
+            f"no worker-*/telemetry.jsonl streams under {workdir}"
+        )
+    sections: list[str] = [f"# Gateway telemetry: {workdir}"]
+    summaries: dict[str, dict[str, float]] = {}
+    for name, path in streams.items():
+        records = load_telemetry(path)
+        sections.append(f"## Partition {name} ({len(records)} records)")
+        if not records:
+            sections.append("(no telemetry records)")
+            continue
+        if rounds:
+            sections.append(
+                telemetry_table(records, every=every, precision=precision)
+            )
+        summaries[name] = summarize_telemetry(records)
+        sections.append(summary_table(summaries[name], precision=precision))
+    if summaries:
+        rollup: dict[str, float] = {"partitions": float(len(summaries))}
+        keys: list[str] = []
+        for summary in summaries.values():
+            keys.extend(k for k in summary if k not in keys)
+        for key in keys:
+            values = [s[key] for s in summaries.values() if key in s]
+            aggregate = sum(values) if key in _ROLLUP_SUMS else max(values)
+            rollup[key] = float(aggregate)
+        sections.append("## Cluster rollup")
+        sections.append(summary_table(rollup, precision=precision))
     return "\n\n".join(sections)

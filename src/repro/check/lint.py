@@ -21,6 +21,9 @@ REP004   bare ``except:``                                       all of ``src/``
 REP005   float ``==``/``!=`` on priority/score values           all of ``src/``
 REP006   ``print()`` in library code (route through             all but ``cli.py``
          :mod:`repro.obs`)                                      / ``__main__.py``
+REP007   non-deterministic ID sources (``uuid.*``,              obs, service,
+         ``os.urandom``, ``secrets.*``) -- trace/span ids       gateway
+         must derive via :mod:`repro.obs.tracectx`
 =======  =====================================================  ==================
 
 Files outside the ``repro`` package (fixtures, scripts) are linted with
@@ -94,11 +97,20 @@ RULES: dict[str, Rule] = {
             "print-in-library",
             "print() in library code; route output through repro.obs",
         ),
+        Rule(
+            "REP007",
+            "nondeterministic-id",
+            "non-deterministic ID source; derive ids via repro.obs.tracectx",
+        ),
     )
 }
 
 #: Subpackages of ``repro`` whose code runs under the simulation clock.
 CLOCKED_PACKAGES = frozenset({"core", "sim", "workload", "learncurve"})
+
+#: Subpackages that stamp protocol-visible identifiers (trace/span/job
+#: ids); REP007 keeps every ID in them a pure function of the seed.
+TRACED_PACKAGES = frozenset({"obs", "service", "gateway"})
 
 #: Top-level modules allowed to print (user-facing entry points).
 ENTRYPOINT_MODULES = frozenset({"cli.py", "__main__.py"})
@@ -139,6 +151,9 @@ _TIME_FUNCS = frozenset({"time", "time_ns"})
 #: Wall-clock constructors on ``datetime``/``date`` classes.
 _DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
 
+#: ``uuid`` module callables whose output is machine/time/entropy bound.
+_UUID_FUNCS = frozenset({"uuid1", "uuid3", "uuid4", "uuid5", "getnode"})
+
 #: Identifier fragments that mark a value as a priority/score (REP005).
 _PRIORITY_NAME = re.compile(r"prio|score", re.IGNORECASE)
 
@@ -151,10 +166,11 @@ class FileScope:
 
     clocked: bool
     library: bool
+    traced: bool = False
 
 
 #: Scope for files outside the repo package: everything applies.
-FULL_SCOPE = FileScope(clocked=True, library=True)
+FULL_SCOPE = FileScope(clocked=True, library=True, traced=True)
 
 
 @dataclass(frozen=True)
@@ -195,7 +211,8 @@ def scope_for_path(path: Path) -> FileScope:
         return FULL_SCOPE
     clocked = rel[0] in CLOCKED_PACKAGES
     library = not (len(rel) == 1 and rel[0] in ENTRYPOINT_MODULES)
-    return FileScope(clocked=clocked, library=library)
+    traced = rel[0] in TRACED_PACKAGES
+    return FileScope(clocked=clocked, library=library, traced=traced)
 
 
 class _Collector(ast.NodeVisitor):
@@ -217,6 +234,12 @@ class _Collector(ast.NodeVisitor):
         self._random_funcs: set[str] = set()
         #: local names bound to the ``datetime``/``date`` classes.
         self._datetime_classes: set[str] = set()
+        #: REP007: names bound to the ``uuid``/``secrets``/``os`` modules
+        #: and to their entropy-backed callables.
+        self._uuid_mods: set[str] = set()
+        self._secrets_mods: set[str] = set()
+        self._os_mods: set[str] = set()
+        self._id_funcs: set[str] = set()
 
     # -- imports -----------------------------------------------------------
 
@@ -231,6 +254,12 @@ class _Collector(ast.NodeVisitor):
                 self._datetime_mods.add(bound)
             elif alias.name in ("numpy", "numpy.random"):
                 self._numpy_mods.add(bound)
+            elif alias.name == "uuid":
+                self._uuid_mods.add(bound)
+            elif alias.name == "secrets":
+                self._secrets_mods.add(bound)
+            elif alias.name == "os":
+                self._os_mods.add(bound)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -242,6 +271,12 @@ class _Collector(ast.NodeVisitor):
                 self._random_funcs.add(bound)
             elif node.module == "datetime" and alias.name in ("datetime", "date"):
                 self._datetime_classes.add(bound)
+            elif node.module == "uuid" and alias.name in _UUID_FUNCS:
+                self._id_funcs.add(bound)
+            elif node.module == "secrets":
+                self._id_funcs.add(bound)
+            elif node.module == "os" and alias.name == "urandom":
+                self._id_funcs.add(bound)
         self.generic_visit(node)
 
     # -- helpers -----------------------------------------------------------
@@ -266,6 +301,24 @@ class _Collector(ast.NodeVisitor):
             and func.id == "print"
         ):
             self._report(node, "REP006", "print() call in library code")
+        # REP007 -- non-deterministic ID sources in traced packages.
+        if self.scope.traced:
+            if isinstance(func, ast.Name) and func.id in self._id_funcs:
+                self._report(
+                    node, "REP007", f"non-deterministic ID source {func.id}()"
+                )
+            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                base_id, attr = func.value.id, func.attr
+                if (
+                    (base_id in self._uuid_mods and attr in _UUID_FUNCS)
+                    or base_id in self._secrets_mods
+                    or (base_id in self._os_mods and attr == "urandom")
+                ):
+                    self._report(
+                        node,
+                        "REP007",
+                        f"non-deterministic ID source {base_id}.{attr}()",
+                    )
         if not self.scope.clocked:
             return
         # REP001 -- wall-clock reads.

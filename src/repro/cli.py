@@ -2,14 +2,19 @@
 
 Commands
 --------
-``trace``    Generate a synthetic Philly-like trace CSV.
+``trace``    Generate a synthetic Philly-like trace CSV; subcommands
+             ``dump`` (collect a cluster-wide Chrome trace over the
+             ``trace_dump`` verb) and ``analyze`` (critical-path
+             latency breakdown of a merged trace).
 ``run``      Run one scheduler over a trace and print its summary.
 ``compare``  Run several schedulers over the same trace and emit a
              Markdown report.
 ``serve``    Run the online scheduler daemon on a local socket.
 ``submit``   Submit one job to a running daemon.
 ``ctl``      Control a running daemon (status/metrics/drain/cancel/...).
-``report``   Render a telemetry JSONL file as summary tables.
+``top``      Live terminal view over a gateway's aggregated metrics.
+``report``   Render a telemetry JSONL file (or a gateway telemetry
+             directory) as summary tables.
 ``sweep``    Run a (possibly parallel) experiment sweep via ``repro.api``.
 ``lint``     Run the repo-specific determinism/hygiene lint.
 ``typecheck`` Run the strict-typing gate (mypy or the AST fallback).
@@ -30,6 +35,10 @@ Examples
     python -m repro run --trace trace.csv --scheduler MLF-H --faults plan.json
     python -m repro ctl --socket /tmp/repro.sock faultctl server_crash --server 2
     python -m repro report telemetry.jsonl
+    python -m repro report gateway-run            # per-worker directory
+    python -m repro trace dump --target 127.0.0.1:7463 --out cluster.json
+    python -m repro trace analyze cluster.json
+    python -m repro top --target 127.0.0.1:7463 --once
     python -m repro sweep --schedulers MLF-H,Tiresias --seeds 0,1 \
         --jobs 60 --workers 2 --out sweep.json
     python -m repro sweep --grid grid.json --workers 4 --cache-dir .sweep-cache
@@ -62,11 +71,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_trace = sub.add_parser("trace", help="generate a synthetic trace CSV")
+    p_trace = sub.add_parser(
+        "trace",
+        help="generate a synthetic trace CSV, or dump/analyze cluster traces",
+    )
     p_trace.add_argument("--jobs", type=int, default=100)
     p_trace.add_argument("--hours", type=float, default=2.0)
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", default="trace.csv")
+    # ``repro trace`` with no subcommand keeps its original meaning
+    # (generate a workload CSV); the subcommands below are the
+    # distributed-tracing surface.
+    trace_sub = p_trace.add_subparsers(dest="trace_command")
+    p_tdump = trace_sub.add_parser(
+        "dump", help="collect a merged Chrome trace from a gateway or daemon"
+    )
+    p_tdump.add_argument(
+        "--target",
+        default="127.0.0.1:7463",
+        help="gateway/daemon target (host:port, tcp://, unix:// or a path)",
+    )
+    p_tdump.add_argument(
+        "--deterministic",
+        action="store_true",
+        help="canonical span order + ordinal timestamps (bit-reproducible)",
+    )
+    p_tdump.add_argument(
+        "--reset", action="store_true", help="clear stored spans after dumping"
+    )
+    p_tdump.add_argument("--out", default=None, help="write the JSON here (default stdout)")
+    p_tana = trace_sub.add_parser(
+        "analyze", help="critical-path latency breakdown of a merged trace"
+    )
+    p_tana.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="merged Chrome-trace JSON path (or use --target for a live dump)",
+    )
+    p_tana.add_argument(
+        "--target",
+        default=None,
+        help="fetch a live trace_dump from this gateway/daemon instead",
+    )
+    p_tana.add_argument("--precision", type=int, default=3)
+    p_tana.add_argument(
+        "--json", action="store_true", help="emit the analysis as JSON"
+    )
 
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--trace", required=True, help="trace CSV path")
@@ -259,6 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="deterministic",
     )
     p_gw.add_argument("--restart-limit", type=int, default=3)
+    p_gw.add_argument(
+        "--trace",
+        action="store_true",
+        help="record gateway + worker spans (collect with 'repro trace dump')",
+    )
 
     p_lg = sub.add_parser(
         "loadgen", help="replay a seeded submission stream against a gateway"
@@ -277,11 +333,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg.add_argument(
         "--quiet", action="store_true", help="suppress progress lines on stderr"
     )
+    p_lg.add_argument(
+        "--trace",
+        action="store_true",
+        help="stamp payloads with deterministic client-side trace ids",
+    )
+
+    p_top = sub.add_parser(
+        "top", help="live terminal view over a gateway's aggregated metrics"
+    )
+    p_top.add_argument(
+        "--target",
+        default="127.0.0.1:7463",
+        help="gateway target (host:port, tcp://, unix:// or a path)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
 
     p_report = sub.add_parser(
-        "report", help="render a telemetry JSONL file as summary tables"
+        "report",
+        help="render telemetry (a JSONL file, or a gateway telemetry"
+        " directory of worker-*/telemetry.jsonl files) as summary tables",
     )
-    p_report.add_argument("telemetry", help="telemetry JSONL path")
+    p_report.add_argument(
+        "telemetry", help="telemetry JSONL path or gateway workdir"
+    )
     p_report.add_argument(
         "--every", type=int, default=1, help="keep one per-round row in EVERY"
     )
@@ -363,7 +443,12 @@ def _setup_from_args(args) -> SimulationSetup:
 
 
 def cmd_trace(args) -> int:
-    """Generate and write a synthetic trace."""
+    """Generate a synthetic trace CSV, or dump/analyze cluster traces."""
+    command = getattr(args, "trace_command", None)
+    if command == "dump":
+        return _cmd_trace_dump(args)
+    if command == "analyze":
+        return _cmd_trace_analyze(args)
     records = generate_trace(
         args.jobs, duration_seconds=args.hours * 3600.0, seed=args.seed
     )
@@ -446,6 +531,111 @@ def _client_errors(fn):
         return 1
 
     return wrapper
+
+
+def _merged_trace_doc(result: dict, deterministic: bool = False) -> dict:
+    """The Chrome-trace document inside a ``trace_dump`` result.
+
+    Gateways answer with the already-merged document; bare daemons
+    answer with their raw span dump, which we merge into a one-lane
+    document here so both targets feed the same analysis.
+    """
+    from repro.obs.distributed import ProcessTrace, merge_chrome_traces
+
+    if "trace" in result:
+        return result["trace"]
+    return merge_chrome_traces(
+        [ProcessTrace.from_dump(result.get("role", "daemon"), result)],
+        deterministic=deterministic,
+    )
+
+
+@_client_errors
+def _cmd_trace_dump(args) -> int:
+    """Collect a merged Chrome trace over the ``trace_dump`` verb."""
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.target) as client:
+        result = client.trace_dump(
+            deterministic=args.deterministic, reset=args.reset
+        )
+    if not result.get("enabled", True):
+        print(
+            "warning: tracing is not enabled on the target", file=sys.stderr
+        )
+    for partition, error in sorted(result.get("errors", {}).items()):
+        print(f"warning: worker {partition}: {error}", file=sys.stderr)
+    doc = _merged_trace_doc(result, deterministic=args.deterministic)
+    text = json.dumps(doc, sort_keys=True, indent=None if args.out else 2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+            handle.write("\n")
+        lanes = (doc.get("otherData") or {}).get("processes", [])
+        print(f"wrote {args.out} ({len(lanes)} process lanes)")
+    else:
+        print(text)
+    return 0
+
+
+@_client_errors
+def _cmd_trace_analyze(args) -> int:
+    """Critical-path latency breakdown of a merged trace."""
+    from repro.obs.distributed import analyze_trace, render_trace_analysis
+
+    if args.target:
+        from repro.service import ServiceClient
+
+        with ServiceClient(args.target) as client:
+            doc = _merged_trace_doc(client.trace_dump())
+    elif args.source:
+        try:
+            with open(args.source) as handle:
+                loaded = json.load(handle)
+        except FileNotFoundError:
+            print(f"error: no trace file at {args.source}", file=sys.stderr)
+            return 1
+        doc = loaded.get("trace", loaded) if isinstance(loaded, dict) else loaded
+    else:
+        print(
+            "error: trace analyze needs a trace file or --target",
+            file=sys.stderr,
+        )
+        return 1
+    analysis = analyze_trace(doc)
+    if args.json:
+        print(json.dumps(analysis, indent=2, sort_keys=True))
+    else:
+        print(render_trace_analysis(analysis, precision=args.precision))
+    return 0
+
+
+@_client_errors
+def cmd_top(args) -> int:
+    """Live terminal view over a gateway's aggregated metrics."""
+    import time as _time
+
+    from repro.obs.distributed import render_top
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.target) as client:
+        while True:
+            metrics = client.metrics()
+            workers = None
+            try:
+                workers = client.workers().get("workers")
+            except Exception:
+                pass  # bare daemons have no ``workers`` verb
+            frame = render_top(metrics, workers)
+            if args.once:
+                print(frame)
+                return 0
+            # Clear + home, like watch(1); one frame per interval.
+            print(f"\x1b[2J\x1b[H{frame}", flush=True)
+            try:
+                _time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
 
 
 @_client_errors
@@ -548,6 +738,7 @@ def cmd_gateway(args) -> int:
         telemetry=not args.no_telemetry,
         telemetry_obs=args.telemetry_obs,
         restart_limit=args.restart_limit,
+        trace=args.trace,
     )
     where = " and ".join(
         part
@@ -585,6 +776,7 @@ def cmd_loadgen(args) -> int:
         timeout=args.timeout,
         progress_every=None if args.quiet else max(args.count // 10, 1),
         progress=None if args.quiet else progress,
+        trace=args.trace,
     )
     print(json.dumps(result, indent=2))
     if args.out:
@@ -596,17 +788,29 @@ def cmd_loadgen(args) -> int:
 
 
 def cmd_report(args) -> int:
-    """Render a telemetry JSONL file as per-round and summary tables."""
-    from repro.analysis.telemetry import render_telemetry_report
+    """Render telemetry (one JSONL file, or a gateway workdir) as tables."""
+    import os
+
+    from repro.analysis.telemetry import (
+        render_gateway_report,
+        render_telemetry_report,
+    )
 
     try:
-        print(
-            render_telemetry_report(
-                args.telemetry, every=args.every, rounds=not args.no_rounds
+        if os.path.isdir(args.telemetry):
+            print(
+                render_gateway_report(
+                    args.telemetry, every=args.every, rounds=not args.no_rounds
+                )
             )
-        )
-    except FileNotFoundError:
-        print(f"error: no telemetry file at {args.telemetry}", file=sys.stderr)
+        else:
+            print(
+                render_telemetry_report(
+                    args.telemetry, every=args.every, rounds=not args.no_rounds
+                )
+            )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
 
@@ -713,6 +917,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ctl": cmd_ctl,
         "gateway": cmd_gateway,
         "loadgen": cmd_loadgen,
+        "top": cmd_top,
         "report": cmd_report,
         "sweep": cmd_sweep,
         "lint": cmd_lint,

@@ -14,7 +14,12 @@ measures what the front tier is for:
 The payload stream is a pure function of ``(count, tenants, seed)``:
 the same arguments generate byte-identical submissions, which is what
 lets the determinism tests replay one trace against two gateways and
-diff their per-worker telemetry bit for bit.
+diff their per-worker telemetry bit for bit.  With ``trace=True`` each
+payload additionally carries a client-originated ``trace_id`` —
+:func:`~repro.obs.tracectx.derive_trace_id` over the same
+``(seed, tenant, index)`` tuple, so the stream stays a pure function of
+its arguments; with the default ``trace=False`` the payloads are
+byte-identical to every previous release.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from collections import Counter
 from typing import Any, Iterator, Optional
 
 from repro.analysis.cdf import percentile_sorted
+from repro.obs.tracectx import derive_trace_id
 from repro.service.client import ServiceClient
 from repro.workload.models import MODEL_NAMES
 
@@ -32,16 +38,20 @@ __all__ = ["generate_payloads", "run_loadgen"]
 
 
 def generate_payloads(
-    count: int, tenants: int = 16, seed: int = 0
+    count: int, tenants: int = 16, seed: int = 0, trace: bool = False
 ) -> Iterator[dict[str, Any]]:
     """A seeded stream of ``count`` submission payloads.
 
     Job ids are sequential (``lg-0000000`` …) so integrity checks are
     trivial; every other field is drawn from a dedicated RNG stream.
+    ``trace=True`` stamps each payload with its deterministic
+    ``trace_id`` (the client end of the distributed-trace chain);
+    ``parent_span_id`` is left unset so the gateway's span becomes the
+    worker span's parent.
     """
     rng = random.Random(seed)
     for index in range(count):
-        yield {
+        payload = {
             "job_id": f"lg-{index:07d}",
             "tenant": f"tenant-{rng.randrange(tenants):04d}",
             "model_name": rng.choice(MODEL_NAMES),
@@ -51,6 +61,11 @@ def generate_payloads(
             "urgency": rng.randrange(0, 10),
             "training_data_mb": float(rng.randrange(100, 2000)),
         }
+        if trace:
+            payload["trace_id"] = derive_trace_id(
+                seed, payload["tenant"], index
+            )
+        yield payload
 
 
 def run_loadgen(
@@ -62,12 +77,16 @@ def run_loadgen(
     timeout: float = 120.0,
     progress_every: Optional[int] = None,
     progress: Any = None,
+    trace: bool = False,
 ) -> dict[str, Any]:
     """Replay ``count`` submissions against ``target``; measure and verify.
 
     ``progress`` (when given) is called as ``progress(done, count)``
     every ``progress_every`` submissions — the CLI uses it to report
-    without this module printing anything itself.
+    without this module printing anything itself.  ``trace=True``
+    stamps every payload with its client-side ``trace_id`` (see
+    :func:`generate_payloads`); collect the resulting cluster trace
+    with the gateway's ``trace_dump`` verb after the run.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
@@ -77,7 +96,7 @@ def run_loadgen(
     per_partition: Counter[str] = Counter()
     seen_ids: set[str] = set()
     latencies_ms: list[float] = []
-    payloads = generate_payloads(count, tenants=tenants, seed=seed)
+    payloads = generate_payloads(count, tenants=tenants, seed=seed, trace=trace)
     sent = 0
     with ServiceClient(target, timeout=timeout) as client:
         started = time.perf_counter()
@@ -105,6 +124,7 @@ def run_loadgen(
         "batch": batch,
         "tenants": tenants,
         "seed": seed,
+        "trace": trace,
         "elapsed_seconds": elapsed,
         "submissions_per_sec": count / elapsed if elapsed > 0 else 0.0,
         "latency_ms": {

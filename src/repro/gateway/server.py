@@ -19,6 +19,17 @@ and fans submissions out to N scheduler daemons it supervises:
 * supervision: the poll loop doubles as the health checker, marking
   dead partitions down and (in process spawn mode) restarting them.
 
+Distributed tracing: with ``trace=True`` the gateway records its own
+spans (``gateway.submit``/``gateway.submit_batch``/``gateway.forward``)
+into a local :class:`~repro.obs.tracing.Tracer`, stamps forwarded
+payloads with deterministic per-submission trace IDs
+(:mod:`repro.obs.tracectx`), and answers ``trace_dump`` by fanning out
+to every worker and merging the per-process span dumps into one
+Chrome-trace document with a lane per process
+(:mod:`repro.obs.distributed`).  ``metrics_text`` likewise merges every
+worker's Prometheus exposure with the gateway's own, each sample tagged
+``worker="<partition>"``.
+
 Determinism contract: with the round loop and poll loop quiesced
 (``round_interval=0``, ``gossip_interval=0``) the same seed + ring
 config + submission trace produces bit-identical per-worker telemetry
@@ -45,7 +56,11 @@ from repro.gateway.supervisor import (
     WorkerSupervisor,
     worker_service_configs,
 )
+from repro.obs.distributed import ProcessTrace, merge_chrome_traces
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.promtext import merge_metrics_text
+from repro.obs.tracectx import TraceContext, derive_span_id, derive_trace_id
+from repro.obs.tracing import NullTracer, Tracer
 from repro.service.admission import AdmissionDecision
 from repro.service.protocol import (
     STREAM_LIMIT,
@@ -101,6 +116,9 @@ class GatewayConfig:
     telemetry: bool = True
     telemetry_obs: str = "deterministic"
     restart_limit: int = 3
+    #: Record gateway spans and enable per-worker tracing (each worker
+    #: gets a ``trace.json`` in its workdir and answers ``trace_dump``).
+    trace: bool = False
 
 
 def _parse_listen(listen: str) -> tuple[str, int]:
@@ -188,6 +206,12 @@ class GatewayDaemon:
         #: ``history`` on jobs keyed by tenant.
         self._route: dict[str, int] = {}
         self._seq = 0
+        self._batches = 0
+        self.tracer: Tracer | NullTracer = (
+            Tracer() if config.trace else NullTracer()
+        )
+        #: perf_counter origin for the gateway's own span timestamps.
+        self.trace_epoch = time.perf_counter()
         self._submitted_per_partition = {
             p: 0 for p in range(config.workers)
         }
@@ -366,13 +390,22 @@ class GatewayDaemon:
     # -- submission routing ------------------------------------------------
 
     def _assign(self, payload: dict[str, Any]) -> tuple[dict[str, Any], str, int]:
-        """Give the payload a job id and pick its partition."""
+        """Give the payload a job id, a trace id, and pick its partition.
+
+        The trace id is a pure function of ``(seed, tenant, submission
+        index)`` — same seed + submission stream, same ids, in line
+        with the determinism contract above — and only assigned when
+        tracing is on and the client did not send one.
+        """
+        index = self._seq
         job_id = payload.get("job_id")
         if not job_id:
-            job_id = f"gw-{self._seq:07d}"
+            job_id = f"gw-{index:07d}"
             payload["job_id"] = job_id
         self._seq += 1
         key = str(payload.get("tenant") or job_id)
+        if self.tracer.enabled and not payload.get("trace_id"):
+            payload["trace_id"] = derive_trace_id(self.config.seed, key, index)
         return payload, job_id, self.ring.lookup(key)
 
     def _door_reject(self, job_id: str, partition: int) -> dict[str, Any]:
@@ -395,11 +428,43 @@ class GatewayDaemon:
             # Traffic-driven gossip: every response refreshes the board.
             self.board.update(partition, overload_degree=result["overload_degree"])
 
-    async def _submit_one(self, params: dict[str, Any]) -> dict[str, Any]:
+    async def _submit_one(
+        self, params: dict[str, Any], trace: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
         spec = JobSpec.from_payload(params)  # validate before routing
         payload, job_id, partition = self._assign(spec.to_payload())
         if self.door.check(self.board) is AdmissionDecision.REJECT:
             return self._door_reject(job_id, partition)
+        if self.tracer.enabled and payload.get("trace_id"):
+            # The gateway span joins the submission's trace: parented
+            # under the caller's span, and re-parenting the worker's
+            # admission span under itself.
+            trace_id = payload["trace_id"]
+            remote = TraceContext.from_wire(trace) if trace else None
+            parent = (
+                remote.span_id
+                if remote is not None and remote.trace_id == trace_id
+                else payload.get("parent_span_id")
+            )
+            ctx = TraceContext(
+                trace_id=trace_id,
+                span_id=derive_span_id(trace_id, "gateway.submit"),
+                parent_id=parent,
+            )
+            payload["parent_span_id"] = ctx.span_id
+            with self.tracer.span(
+                "gateway.submit",
+                epoch=self.trace_epoch,
+                ctx=ctx,
+                job_id=job_id,
+                partition=partition,
+            ):
+                return await self._forward_one(payload, job_id, partition)
+        return await self._forward_one(payload, job_id, partition)
+
+    async def _forward_one(
+        self, payload: dict[str, Any], job_id: str, partition: int
+    ) -> dict[str, Any]:
         start = time.perf_counter()
         try:
             reply = await self.links[partition].request({"op": "submit", **payload})
@@ -426,11 +491,26 @@ class GatewayDaemon:
         self._record_outcome(partition, result)
         return result
 
-    async def _submit_batch(self, params: dict[str, Any]) -> dict[str, Any]:
+    async def _submit_batch(
+        self, params: dict[str, Any], trace: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
         jobs = params.get("jobs")
         if not isinstance(jobs, list):
             raise ProtocolError("submit_batch requires jobs (a list)")
         self._batches_total.inc()
+        batch_index = self._batches
+        self._batches += 1
+        batch_ctx: Optional[TraceContext] = None
+        if self.tracer.enabled:
+            # Batches get their own trace (one per gateway batch seq);
+            # per-job traces hang off it via the forward spans.
+            batch_trace = derive_trace_id(self.config.seed, "batch", batch_index)
+            remote = TraceContext.from_wire(trace) if trace else None
+            batch_ctx = TraceContext(
+                trace_id=batch_trace,
+                span_id=derive_span_id(batch_trace, "gateway.submit_batch"),
+                parent_id=remote.span_id if remote is not None else None,
+            )
         results: list[Optional[dict[str, Any]]] = [None] * len(jobs)
         #: partition -> list of (original index, payload)
         groups: dict[int, list[tuple[int, dict[str, Any]]]] = {}
@@ -453,11 +533,40 @@ class GatewayDaemon:
             groups.setdefault(partition, []).append((index, payload))
 
         async def forward(partition: int, items: list[tuple[int, dict[str, Any]]]) -> None:
+            body: dict[str, Any] = {
+                "op": "submit_batch",
+                "jobs": [p for _, p in items],
+            }
+            if batch_ctx is not None:
+                fwd_ctx = TraceContext(
+                    trace_id=batch_ctx.trace_id,
+                    span_id=derive_span_id(
+                        batch_ctx.trace_id, f"gateway.forward:{partition}"
+                    ),
+                    parent_id=batch_ctx.span_id,
+                )
+                for _, item_payload in items:
+                    item_payload["parent_span_id"] = fwd_ctx.span_id
+                body["trace"] = fwd_ctx.to_wire()
+                with self.tracer.span(
+                    "gateway.forward",
+                    epoch=self.trace_epoch,
+                    ctx=fwd_ctx,
+                    partition=partition,
+                    jobs=len(items),
+                ):
+                    await forward_inner(partition, items, body)
+            else:
+                await forward_inner(partition, items, body)
+
+        async def forward_inner(
+            partition: int,
+            items: list[tuple[int, dict[str, Any]]],
+            body: dict[str, Any],
+        ) -> None:
             start = time.perf_counter()
             try:
-                reply = await self.links[partition].request(
-                    {"op": "submit_batch", "jobs": [p for _, p in items]}
-                )
+                reply = await self.links[partition].request(body)
                 if not reply.get("ok"):
                     raise ConnectionError(reply.get("error", "worker error"))
                 batch = reply["result"]["results"]
@@ -479,7 +588,21 @@ class GatewayDaemon:
                 self._record_outcome(partition, outcome)
                 results[index] = outcome
 
-        await asyncio.gather(*(forward(p, items) for p, items in groups.items()))
+        if batch_ctx is not None:
+            with self.tracer.span(
+                "gateway.submit_batch",
+                epoch=self.trace_epoch,
+                ctx=batch_ctx,
+                jobs=len(jobs),
+                batch=batch_index,
+            ):
+                await asyncio.gather(
+                    *(forward(p, items) for p, items in groups.items())
+                )
+        else:
+            await asyncio.gather(
+                *(forward(p, items) for p, items in groups.items())
+            )
         final = [r if r is not None else {"status": "error", "error": "dropped"} for r in results]
         return {"results": final, "count": len(final)}
 
@@ -600,6 +723,62 @@ class GatewayDaemon:
             },
         }
 
+    async def _aggregate_metrics_text(self) -> str:
+        """Every worker's Prometheus exposure merged with the gateway's.
+
+        Samples are tagged ``worker="gateway"`` / ``worker="<partition>"``;
+        ``# HELP``/``# TYPE`` appear once per family and families are in
+        sorted-name order (:func:`repro.obs.promtext.merge_metrics_text`).
+        """
+        per_partition = await self._fanout({"op": "metrics_text"})
+        sources: dict[str, str] = {"gateway": self.registry.render_text()}
+        for partition in sorted(per_partition):
+            result = per_partition[partition]
+            if "error" not in result:
+                sources[str(partition)] = str(result.get("text", ""))
+        return merge_metrics_text(sources, label="worker")
+
+    async def _trace_dump(
+        self, deterministic: bool = False, reset: bool = False
+    ) -> dict[str, Any]:
+        """The cluster-wide collector behind the ``trace_dump`` verb.
+
+        Fans out to every worker, merges their span dumps with the
+        gateway's own into one Chrome-trace document (one pid lane per
+        process).  ``deterministic`` re-keys timestamps onto the
+        canonical span order so two same-seed runs dump byte-identical
+        documents; ``reset`` clears stored spans everywhere after
+        dumping.
+        """
+        per_partition = await self._fanout({"op": "trace_dump", "reset": reset})
+        processes = [
+            ProcessTrace(
+                name="gateway",
+                events=[record.to_dict() for record in self.tracer.events],
+                dropped=self.tracer.dropped,
+            )
+        ]
+        errors: dict[str, str] = {}
+        for partition in sorted(per_partition):
+            result = per_partition[partition]
+            if "error" in result:
+                errors[str(partition)] = str(result["error"])
+                continue
+            processes.append(
+                ProcessTrace.from_dump(f"worker-{partition:02d}", result)
+            )
+        if reset and self.tracer.enabled:
+            self.tracer.events = []
+        doc = merge_chrome_traces(processes, deterministic=deterministic)
+        out: dict[str, Any] = {
+            "trace": doc,
+            "processes": [p.name for p in processes],
+            "enabled": self.tracer.enabled,
+        }
+        if errors:
+            out["errors"] = errors
+        return out
+
     # -- request handling --------------------------------------------------
 
     async def _handle_client(
@@ -650,9 +829,13 @@ class GatewayDaemon:
                 id=request.id,
             )
         if request.op == "submit":
-            return Response.success(await self._submit_one(params), id=request.id)
+            return Response.success(
+                await self._submit_one(params, trace=request.trace), id=request.id
+            )
         if request.op == "submit_batch":
-            return Response.success(await self._submit_batch(params), id=request.id)
+            return Response.success(
+                await self._submit_batch(params, trace=request.trace), id=request.id
+            )
         if request.op == "status":
             return Response.success(
                 await self._aggregate_status(params.get("job_id")), id=request.id
@@ -661,7 +844,15 @@ class GatewayDaemon:
             return Response.success(await self._aggregate_metrics(), id=request.id)
         if request.op == "metrics_text":
             return Response.success(
-                {"text": self.registry.render_text()}, id=request.id
+                {"text": await self._aggregate_metrics_text()}, id=request.id
+            )
+        if request.op == "trace_dump":
+            return Response.success(
+                await self._trace_dump(
+                    deterministic=bool(params.get("deterministic", False)),
+                    reset=bool(params.get("reset", False)),
+                ),
+                id=request.id,
             )
         if request.op == "workers":
             rows = []
@@ -750,6 +941,7 @@ def gateway_worker_configs(config: GatewayConfig):
         admission_threshold=config.admission_threshold,
         telemetry=config.telemetry,
         telemetry_obs=config.telemetry_obs,
+        trace=config.trace,
     )
 
 

@@ -68,6 +68,8 @@ def _worker_argv(config: ServiceConfig) -> list[str]:
     ]
     if config.telemetry_path:
         argv += ["--telemetry", config.telemetry_path]
+    if config.trace_path:
+        argv += ["--trace", config.trace_path]
     if config.snapshot_dir:
         argv += ["--snapshot-dir", config.snapshot_dir, "--snapshot-every", str(config.snapshot_every)]
     if config.faults_path:
@@ -276,6 +278,7 @@ def worker_service_configs(
     admission_threshold: float = 0.90,
     telemetry: bool = True,
     telemetry_obs: str = "deterministic",
+    trace: bool = False,
 ) -> list[ServiceConfig]:
     """One :class:`ServiceConfig` per partition under ``workdir``.
 
@@ -299,6 +302,7 @@ def worker_service_configs(
                 admission_policy=admission_policy,
                 admission_threshold=admission_threshold,
                 telemetry_path=str(wdir / "telemetry.jsonl") if telemetry else None,
+                trace_path=str(wdir / "trace.json") if trace else None,
                 round_interval=round_interval,
                 telemetry_obs=telemetry_obs,
             )

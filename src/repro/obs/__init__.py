@@ -14,6 +14,15 @@ Three backends behind one facade (:class:`Observer`):
   (submitted → queued → placed → migrated → stopped/completed) behind
   the ``history`` verb.
 
+Distributed runs add two more modules: :mod:`repro.obs.tracectx`
+(deterministic trace/span IDs that ride the NDJSON protocol across
+client → gateway → worker) and :mod:`repro.obs.distributed` (the
+gateway-side collector that merges per-process span dumps into one
+Chrome trace with a lane per process, plus critical-path analysis and
+the ``repro top`` renderer).  :mod:`repro.obs.promtext` owns the
+Prometheus text-format mechanics (escaping, parsing, multi-worker
+merging, validation).
+
 Instrumentation is injectable — pass an :class:`Observer` into
 :class:`~repro.sim.engine.SimulationEngine` or
 :class:`~repro.service.daemon.SchedulerService` — with
@@ -42,7 +51,20 @@ from repro.obs.observer import (
     set_current_observer,
     span,
 )
+from repro.obs.promtext import (
+    merge_metrics_text,
+    parse_metrics_text,
+    validate_metrics_text,
+)
 from repro.obs.timeline import JOB_EVENTS, TimelineEvent, TimelineRecorder
+from repro.obs.tracectx import (
+    TraceContext,
+    current_trace_context,
+    derive_span_id,
+    derive_trace_id,
+    root_context,
+    trace_context,
+)
 from repro.obs.tracing import NullTracer, SCHEDULER_PHASES, SpanRecord, Tracer
 
 __all__ = [
@@ -62,9 +84,18 @@ __all__ = [
     "SpanRecord",
     "TimelineEvent",
     "TimelineRecorder",
+    "TraceContext",
     "Tracer",
     "current_observer",
+    "current_trace_context",
+    "derive_span_id",
+    "derive_trace_id",
+    "merge_metrics_text",
+    "parse_metrics_text",
     "publish_priorities",
+    "root_context",
     "set_current_observer",
     "span",
+    "trace_context",
+    "validate_metrics_text",
 ]

@@ -1,0 +1,377 @@
+"""Cluster-wide trace collection: merge, analyze, render.
+
+One logical cluster is a gateway process plus N worker daemons, each
+recording spans into its local :class:`~repro.obs.tracing.Tracer`.
+This module is the gateway-side collector that stitches those
+per-process dumps (the ``trace_dump`` verb) back into a single view:
+
+* :func:`merge_chrome_traces` — per-process span-record dumps → one
+  Chrome-trace JSON with a lane per process (``pid`` per process,
+  ``process_name``/``process_sort_index`` metadata events), loadable in
+  Perfetto / ``chrome://tracing``.  Trace/span IDs ride in each event's
+  ``args`` so cross-lane parent/child edges survive the merge.
+* :func:`analyze_trace` — per-submission critical path over a merged
+  trace: time in gateway routing vs worker queue/transport vs admission
+  vs scheduler rounds, with p50/p95/p99 breakdowns
+  (``repro trace analyze``).
+* :func:`render_top` — one frame of the live cluster view over the
+  gateway's aggregated ``metrics`` result (``repro top``).
+
+Determinism: spans carry ``perf_counter`` wall durations, and the
+gateway closes fan-out spans in whatever order worker responses land —
+so raw timestamps are *not* reproducible.  ``deterministic=True``
+re-keys the merged document onto a canonical order (sort by process
+lane, then trace/span identity, then name and args) and replaces
+``ts``/``dur`` with ordinal placeholders, which makes two same-seed
+runs byte-identical — the same contract the per-worker telemetry
+already honours.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.analysis.cdf import percentile_sorted
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "ProcessTrace",
+    "merge_chrome_traces",
+    "trace_summary",
+    "analyze_trace",
+    "render_trace_analysis",
+    "render_top",
+]
+
+
+@dataclass
+class ProcessTrace:
+    """One process's span dump, as returned by the ``trace_dump`` verb."""
+
+    name: str
+    events: list[dict[str, Any]] = field(default_factory=list)
+    dropped: int = 0
+
+    @classmethod
+    def from_dump(cls, name: str, dump: Mapping[str, Any]) -> "ProcessTrace":
+        return cls(
+            name=name,
+            events=list(dump.get("events", ())),
+            dropped=int(dump.get("dropped", 0)),
+        )
+
+
+def _chrome_event(record: Mapping[str, Any], pid: int) -> dict[str, Any]:
+    event: dict[str, Any] = {
+        "name": record["name"],
+        "ph": "X",
+        "cat": "scheduler",
+        "ts": round(float(record["start_us"]), 3),
+        "dur": round(float(record["dur_us"]), 3),
+        "pid": pid,
+        "tid": 1,
+    }
+    args = dict(record.get("args") or {})
+    for key in ("trace_id", "span_id", "parent_id"):
+        if record.get(key) is not None:
+            args[key] = record[key]
+    if args:
+        event["args"] = args
+    return event
+
+
+def _canonical_key(event: Mapping[str, Any]) -> tuple:
+    args = event.get("args") or {}
+    return (
+        event["pid"],
+        args.get("trace_id", ""),
+        args.get("span_id", ""),
+        event["name"],
+        json.dumps({k: v for k, v in args.items()}, sort_keys=True),
+    )
+
+
+def merge_chrome_traces(
+    processes: Sequence[ProcessTrace], deterministic: bool = False
+) -> dict[str, Any]:
+    """Merge per-process dumps into one Chrome-trace document.
+
+    Process ``i`` becomes pid ``i + 1`` (its lane), named by metadata
+    events.  With ``deterministic=True`` wall timestamps are replaced
+    by canonical-order ordinals (see the module docstring); the default
+    keeps real timings for human inspection.
+    """
+    events: list[dict[str, Any]] = []
+    meta: list[dict[str, Any]] = []
+    dropped_total = 0
+    for index, process in enumerate(processes):
+        pid = index + 1
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": process.name},
+            }
+        )
+        meta.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "args": {"sort_index": index},
+            }
+        )
+        lane = [_chrome_event(record, pid) for record in process.events]
+        if deterministic:
+            lane.sort(key=_canonical_key)
+        events.extend(lane)
+        dropped_total += process.dropped
+    if deterministic:
+        for ordinal, event in enumerate(events):
+            event["ts"] = float(ordinal)
+            event["dur"] = 1.0
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "dropped_spans": dropped_total,
+            "processes": [p.name for p in processes],
+            "deterministic": deterministic,
+        },
+    }
+
+
+# -- critical-path analysis --------------------------------------------------
+
+
+def _stats(durs_us: Sequence[float]) -> dict[str, float]:
+    ordered = sorted(durs_us)
+    ms = 1e-3
+    return {
+        "count": len(ordered),
+        "mean_ms": (sum(ordered) / len(ordered)) * ms,
+        "p50_ms": percentile_sorted(ordered, 50.0) * ms,
+        "p95_ms": percentile_sorted(ordered, 95.0) * ms,
+        "p99_ms": percentile_sorted(ordered, 99.0) * ms,
+        "max_ms": ordered[-1] * ms,
+    }
+
+
+def _spans(doc: Mapping[str, Any]) -> Iterable[dict[str, Any]]:
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") == "X":
+            yield event
+
+
+def trace_summary(doc: Mapping[str, Any]) -> dict[str, Any]:
+    """Lane/span/trace counts of a merged document (CI integrity checks)."""
+    lanes: set[int] = set()
+    traces: set[str] = set()
+    spans = 0
+    for event in _spans(doc):
+        spans += 1
+        lanes.add(event["pid"])
+        trace_id = (event.get("args") or {}).get("trace_id")
+        if trace_id:
+            traces.add(trace_id)
+    return {
+        "processes": sorted(
+            (doc.get("otherData") or {}).get("processes", ())
+        ),
+        "lanes": len(lanes),
+        "spans": spans,
+        "traces": len(traces),
+        "dropped": (doc.get("otherData") or {}).get("dropped_spans", 0),
+    }
+
+
+def analyze_trace(doc: Mapping[str, Any]) -> dict[str, Any]:
+    """Per-submission critical-path breakdown of a merged trace.
+
+    Categories (all durations in milliseconds):
+
+    * ``gateway_batch`` — whole ``gateway.submit_batch`` spans;
+    * ``gateway_routing`` — batch time *not* spent waiting on the
+      slowest worker (validation + ring routing + response merge);
+    * ``gateway_forward`` — per-partition fan-out RPCs
+      (``gateway.forward``), wire + worker time;
+    * ``worker_queue`` — forward minus the matched worker-side span:
+      transport + time queued in the worker's event loop;
+    * ``worker_batch`` / ``worker_admission`` — worker-side handling;
+    * ``scheduler_round`` and the engine phases — the paper's
+      scheduling work itself.
+    """
+    by_name: dict[str, list[float]] = {}
+    worker_by_parent: dict[str, float] = {}
+    forwards: list[dict[str, Any]] = []
+    batch_children: dict[str, list[float]] = {}
+    for event in _spans(doc):
+        name = event["name"]
+        dur = float(event.get("dur", 0.0))
+        by_name.setdefault(name, []).append(dur)
+        args = event.get("args") or {}
+        if name == "worker.submit_batch" and args.get("parent_id"):
+            worker_by_parent[args["parent_id"]] = dur
+        elif name == "gateway.forward":
+            forwards.append(event)
+            if args.get("parent_id"):
+                batch_children.setdefault(args["parent_id"], []).append(dur)
+
+    categories: dict[str, dict[str, float]] = {}
+
+    def add(category: str, durs: Sequence[float]) -> None:
+        if durs:
+            categories[category] = _stats(durs)
+
+    add("gateway_submit", by_name.get("gateway.submit", ()))
+    add("gateway_batch", by_name.get("gateway.submit_batch", ()))
+    add("gateway_forward", by_name.get("gateway.forward", ()))
+
+    routing: list[float] = []
+    for event in _spans(doc):
+        if event["name"] != "gateway.submit_batch":
+            continue
+        span_id = (event.get("args") or {}).get("span_id")
+        children = batch_children.get(span_id or "", ())
+        if children:
+            routing.append(max(0.0, float(event["dur"]) - max(children)))
+    add("gateway_routing", routing)
+
+    queue: list[float] = []
+    matched = 0
+    for event in forwards:
+        span_id = (event.get("args") or {}).get("span_id")
+        worker_dur = worker_by_parent.get(span_id or "")
+        if worker_dur is not None:
+            matched += 1
+            queue.append(max(0.0, float(event["dur"]) - worker_dur))
+    add("worker_queue", queue)
+
+    add("worker_batch", by_name.get("worker.submit_batch", ()))
+    add("worker_admission", by_name.get("worker.admission", ()))
+    add("scheduler_round", by_name.get("round", ()))
+    for phase in ("priority", "placement", "migration", "load_control", "rl_inference"):
+        add(f"phase_{phase}", by_name.get(phase, ()))
+
+    submissions = len(by_name.get("worker.admission", ()))
+    return {
+        "summary": trace_summary(doc),
+        "submissions": submissions,
+        "forward_spans": len(forwards),
+        "forward_spans_matched": matched,
+        "categories": categories,
+    }
+
+
+def render_trace_analysis(analysis: Mapping[str, Any], precision: int = 3) -> str:
+    """The ``repro trace analyze`` text report."""
+    summary = analysis["summary"]
+    lines = [
+        f"processes: {', '.join(summary['processes']) or '?'}"
+        f"  (lanes={summary['lanes']})",
+        f"spans: {summary['spans']}  traces: {summary['traces']}"
+        f"  submissions: {analysis['submissions']}"
+        f"  dropped: {summary['dropped']}",
+        f"fan-out integrity: {analysis['forward_spans_matched']}"
+        f"/{analysis['forward_spans']} forward spans matched to worker spans",
+        "",
+    ]
+    rows = []
+    for category, stats in analysis["categories"].items():
+        rows.append(
+            [
+                category,
+                int(stats["count"]),
+                stats["p50_ms"],
+                stats["p95_ms"],
+                stats["p99_ms"],
+                stats["mean_ms"],
+                stats["max_ms"],
+            ]
+        )
+    lines.append(
+        format_table(
+            ["category", "count", "p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms"],
+            rows,
+            precision=precision,
+        )
+    )
+    return "\n".join(lines)
+
+
+# -- live cluster view (repro top) -------------------------------------------
+
+
+def render_top(
+    metrics: Mapping[str, Any],
+    workers: Optional[Sequence[Mapping[str, Any]]] = None,
+) -> str:
+    """One frame of the ``repro top`` terminal view.
+
+    ``metrics`` is the gateway's ``metrics`` verb result (cluster
+    occupancy + per-partition gossip samples + gateway scalars);
+    ``workers`` optionally the ``workers`` verb rows for restart
+    counts and liveness.
+    """
+    gateway = metrics.get("gateway", {})
+    cluster = metrics.get("cluster", {})
+    partitions = metrics.get("partitions", {})
+    lines = [
+        "repro top — gateway cluster view",
+        (
+            f"workers: {len(partitions)}"
+            f"  submitted: {_submitted_total(gateway)}"
+            f"  overload O_c: {float(cluster.get('overload_degree', 0.0)):.3f}"
+            f"  door: {'open' if cluster.get('admitting', True) else 'CLOSED'}"
+        ),
+        "",
+    ]
+    status = {str(row.get("partition")): row for row in (workers or ())}
+    rows = []
+    for partition in sorted(partitions, key=lambda p: int(p)):
+        sample = partitions[partition]
+        row_status = status.get(str(partition), {})
+        if "error" in sample:
+            rows.append([partition, "DOWN", 0, 0, "-", 0, 0, "-", 0])
+            continue
+        rows.append(
+            [
+                partition,
+                "up" if row_status.get("alive", True) else "DOWN",
+                int(sample.get("active_jobs", 0)),
+                int(sample.get("queue_depth", 0)),
+                f"{float(sample.get('overload_degree', 0.0)):.3f}",
+                int(sample.get("admission_queue_depth", 0)),
+                int(sample.get("jobs_submitted", 0)),
+                f"{float(row_status.get('rtt_ms', 0.0)):.2f}",
+                int(row_status.get("restarts", 0)),
+            ]
+        )
+    lines.append(
+        format_table(
+            [
+                "partition",
+                "state",
+                "active",
+                "queue",
+                "O_c",
+                "adm_q",
+                "submitted",
+                "rtt_ms",
+                "restarts",
+            ],
+            rows,
+        )
+    )
+    return "\n".join(lines)
+
+
+def _submitted_total(gateway_scalars: Mapping[str, Any]) -> int:
+    total = 0.0
+    for key, value in gateway_scalars.items():
+        if key.startswith("gateway_submissions_total"):
+            total += float(value)
+    return int(total)

@@ -19,6 +19,8 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
+from repro.obs.promtext import escape_help, escape_label_value
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -274,11 +276,18 @@ class MetricsRegistry:
     # -- export ------------------------------------------------------------
 
     def render_text(self) -> str:
-        """The Prometheus text exposition format."""
+        """The Prometheus text exposition format.
+
+        Families render in sorted-name order (not registration order),
+        so the exposure is stable across processes that register the
+        same families differently; label values and HELP text carry the
+        format's backslash escapes.
+        """
         lines: list[str] = []
-        for family in self._families.values():
+        for name in sorted(self._families):
+            family = self._families[name]
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(f"# HELP {family.name} {escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             for key in sorted(family.children):
                 child = family.children[key]
@@ -311,7 +320,9 @@ class MetricsRegistry:
 def _label_suffix(names: tuple[str, ...], values: tuple[str, ...]) -> str:
     if not names:
         return ""
-    pairs = ",".join(f'{n}="{v}"' for n, v in zip(names, values))
+    pairs = ",".join(
+        f'{n}="{escape_label_value(v)}"' for n, v in zip(names, values)
+    )
     return "{" + pairs + "}"
 
 

@@ -24,13 +24,15 @@ Instrumentation is injectable (pass an observer to the engine or the
 service) with a module-level default for code — the schedulers — that
 is constructed far from the engine: the engine *activates* its observer
 for the duration of each scheduler round, and :func:`span` /
-:func:`publish_priorities` route to whatever is active on the current
-thread.
+:func:`publish_priorities` route to whatever is active in the current
+context — a :class:`contextvars.ContextVar`, so asyncio tasks sharing
+one thread (the gateway/daemon servers) stay isolated from each other
+just like plain threads do.
 """
 
 from __future__ import annotations
 
-import threading
+from contextvars import ContextVar
 from time import perf_counter
 from typing import Any, Mapping, Optional
 
@@ -301,22 +303,30 @@ class Observer:
         self._register_families()
 
 
-# -- module-level routing (thread-local active observer) -------------------
+# -- module-level routing (context-local active observer) -------------------
+#
+# A ContextVar, not threading.local: the gateway and service daemons run
+# many asyncio tasks on one thread, and thread-local routing would leak
+# an observer activated in one task into every other.  ContextVars are
+# task-local under asyncio *and* thread-local under plain threads, so
+# both the threaded sweep runner and the async servers route correctly.
 
-_ACTIVE = threading.local()
+_ACTIVE: ContextVar[Observer | NullObserver] = ContextVar(
+    "repro_observer", default=NULL_OBSERVER
+)
 
 
 def current_observer() -> Observer | NullObserver:
-    """The observer active on this thread (defaults to the null one)."""
-    return getattr(_ACTIVE, "observer", NULL_OBSERVER)
+    """The observer active in this task/thread (defaults to the null one)."""
+    return _ACTIVE.get()
 
 
 def set_current_observer(
     observer: Observer | NullObserver,
 ) -> Observer | NullObserver:
     """Swap the active observer; returns the previous one."""
-    previous = current_observer()
-    _ACTIVE.observer = observer
+    previous = _ACTIVE.get()
+    _ACTIVE.set(observer)
     return previous
 
 

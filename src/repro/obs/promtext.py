@@ -1,0 +1,314 @@
+"""Prometheus text-exposition helpers: escape, parse, merge, validate.
+
+:meth:`~repro.obs.metrics.MetricsRegistry.render_text` produces the
+text exposition format for one process; the gateway needs to merge N
+worker exposures plus its own into one cluster view.  This module owns
+the format-level mechanics:
+
+* :func:`escape_label_value` / :func:`escape_help` — the exposition
+  format's backslash escapes (``\\``, ``\"``, ``\n``);
+* :func:`parse_metrics_text` — exposure text → ordered families with
+  typed samples (label values unescaped in memory);
+* :func:`merge_metrics_text` — N exposures → one, each sample tagged
+  with a source label (``worker="0"`` …), ``# HELP``/``# TYPE`` emitted
+  once per family, families in sorted-name order (stable regardless of
+  per-process registration order);
+* :func:`validate_metrics_text` — a lightweight compliance check used
+  by tests against both daemon and gateway output.
+
+Parsing is intentionally limited to what our own renderers emit plus
+the obvious escapes — it is a merge/validation aid, not a full
+Prometheus client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+__all__ = [
+    "ParsedSample",
+    "ParsedFamily",
+    "escape_label_value",
+    "escape_help",
+    "parse_metrics_text",
+    "merge_metrics_text",
+    "validate_metrics_text",
+]
+
+#: Suffixes a histogram family's sample names may carry.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def escape_help(text: str) -> str:
+    """Escape ``# HELP`` text per the exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        if nxt == "n":
+            out.append("\n")
+        elif nxt in ('"', "\\"):
+            out.append(nxt)
+        else:
+            out.append("\\" + nxt)
+    return "".join(out)
+
+
+@dataclass
+class ParsedSample:
+    """One sample line: name, ordered labels (unescaped), raw value."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: str  # kept as text so re-rendering is byte-faithful
+
+
+@dataclass
+class ParsedFamily:
+    """One metric family: ``# TYPE`` header plus its samples."""
+
+    name: str
+    kind: str
+    help: Optional[str] = None
+    samples: list[ParsedSample] = field(default_factory=list)
+
+
+def _valid_name(name: str) -> bool:
+    if not name:
+        return False
+    head = name[0]
+    if not (head.isalpha() or head in "_:"):
+        return False
+    return all(ch.isalnum() or ch in "_:" for ch in name)
+
+
+def _parse_labels(body: str, line_no: int) -> tuple[tuple[str, str], ...]:
+    """Parse ``a="x",b="y"`` respecting escapes; raises ValueError."""
+    pairs: list[tuple[str, str]] = []
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.index("=", i)
+        name = body[i:eq]
+        if not _valid_name(name.strip()):
+            raise ValueError(f"line {line_no}: bad label name {name!r}")
+        if eq + 1 >= n or body[eq + 1] != '"':
+            raise ValueError(f"line {line_no}: unquoted label value")
+        j = eq + 2
+        raw: list[str] = []
+        while j < n and body[j] != '"':
+            if body[j] == "\\" and j + 1 < n:
+                raw.append(body[j : j + 2])
+                j += 2
+            else:
+                raw.append(body[j])
+                j += 1
+        if j >= n:
+            raise ValueError(f"line {line_no}: unterminated label value")
+        pairs.append((name.strip(), _unescape("".join(raw))))
+        i = j + 1
+        if i < n:
+            if body[i] != ",":
+                raise ValueError(f"line {line_no}: expected ',' between labels")
+            i += 1
+    return tuple(pairs)
+
+
+def _base_family(sample_name: str, families: Mapping[str, ParsedFamily]) -> str:
+    """The family a sample belongs to (strips histogram suffixes)."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            fam = families.get(base)
+            if fam is not None and fam.kind == "histogram":
+                return base
+    return sample_name
+
+
+def parse_metrics_text(text: str) -> dict[str, ParsedFamily]:
+    """Parse one exposure into ordered ``{family name: ParsedFamily}``.
+
+    Raises ``ValueError`` on lines the format forbids (bad names,
+    unterminated label values, samples with no value, ``# TYPE``
+    redeclarations).
+    """
+    families: dict[str, ParsedFamily] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP ") :]
+            name, _, help_text = rest.partition(" ")
+            if not _valid_name(name):
+                raise ValueError(f"line {line_no}: bad HELP metric name {name!r}")
+            fam = families.setdefault(name, ParsedFamily(name=name, kind="untyped"))
+            if fam.help is not None:
+                raise ValueError(f"line {line_no}: duplicate HELP for {name}")
+            fam.help = help_text
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE ") :]
+            name, _, kind = rest.partition(" ")
+            if not _valid_name(name):
+                raise ValueError(f"line {line_no}: bad TYPE metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {line_no}: bad TYPE kind {kind!r}")
+            fam = families.setdefault(name, ParsedFamily(name=name, kind=kind))
+            if fam.kind not in ("untyped", kind):
+                raise ValueError(f"line {line_no}: TYPE redeclared for {name}")
+            fam.kind = kind
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        # Sample line: name[{labels}] value
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ValueError(f"line {line_no}: unbalanced label braces")
+            name = line[:brace]
+            labels = _parse_labels(line[brace + 1 : close], line_no)
+            value = line[close + 1 :].strip()
+        else:
+            name, _, value = line.partition(" ")
+            labels = ()
+            value = value.strip()
+        if not _valid_name(name):
+            raise ValueError(f"line {line_no}: bad sample name {name!r}")
+        if not value:
+            raise ValueError(f"line {line_no}: sample with no value")
+        float(value)  # raises ValueError on garbage
+        base = _base_family(name, families)
+        fam = families.setdefault(base, ParsedFamily(name=base, kind="untyped"))
+        fam.samples.append(ParsedSample(name=name, labels=labels, value=value))
+    return families
+
+
+def _render_sample(sample: ParsedSample) -> str:
+    if sample.labels:
+        pairs = ",".join(
+            f'{n}="{escape_label_value(v)}"' for n, v in sample.labels
+        )
+        return f"{sample.name}{{{pairs}}} {sample.value}"
+    return f"{sample.name} {sample.value}"
+
+
+def merge_metrics_text(
+    sources: Mapping[str, str], label: str = "worker"
+) -> str:
+    """Merge N exposures into one, tagging samples with their source.
+
+    ``sources`` maps a source name (``"gateway"``, ``"0"`` …) to its
+    exposure text.  Every sample gains a ``label="<source>"`` pair
+    (prepended, so it reads first); ``# HELP``/``# TYPE`` are emitted
+    once per family (first non-empty HELP wins, kinds must agree);
+    families are ordered by sorted name, samples by source order then
+    original order — stable however the inputs arrived.
+    """
+    merged: dict[str, ParsedFamily] = {}
+    for source in sources:
+        for name, fam in parse_metrics_text(sources[source]).items():
+            target = merged.get(name)
+            if target is None:
+                target = ParsedFamily(name=name, kind=fam.kind, help=fam.help)
+                merged[name] = target
+            else:
+                if "untyped" not in (target.kind, fam.kind) and target.kind != fam.kind:
+                    raise ValueError(
+                        f"family {name}: kind {fam.kind!r} from source "
+                        f"{source!r} conflicts with {target.kind!r}"
+                    )
+                if target.kind == "untyped":
+                    target.kind = fam.kind
+                if target.help is None:
+                    target.help = fam.help
+            for sample in fam.samples:
+                target.samples.append(
+                    ParsedSample(
+                        name=sample.name,
+                        labels=((label, str(source)),) + sample.labels,
+                        value=sample.value,
+                    )
+                )
+    lines: list[str] = []
+    for name in sorted(merged):
+        fam = merged[name]
+        if fam.help:
+            lines.append(f"# HELP {name} {escape_help(fam.help)}")
+        lines.append(f"# TYPE {name} {fam.kind}")
+        lines.extend(_render_sample(s) for s in fam.samples)
+    return "\n".join(lines) + "\n"
+
+
+def validate_metrics_text(text: str) -> list[str]:
+    """Compliance problems in one exposure (empty list when clean).
+
+    Checks: parseability, ``# TYPE`` before samples and declared once,
+    at most one ``# HELP`` per family, no duplicate series (same sample
+    name + label set twice), histogram families carry ``_bucket`` /
+    ``_sum`` / ``_count`` with a ``+Inf`` bucket and non-decreasing
+    cumulative counts, and the exposure ends with a newline.
+    """
+    problems: list[str] = []
+    if text and not text.endswith("\n"):
+        problems.append("exposure does not end with a newline")
+    try:
+        families = parse_metrics_text(text)
+    except ValueError as exc:
+        return problems + [str(exc)]
+    seen_series: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    for name, fam in families.items():
+        if fam.kind == "untyped" and fam.samples:
+            problems.append(f"family {name}: samples without a # TYPE header")
+        for sample in fam.samples:
+            series = (sample.name, tuple(sorted(sample.labels)))
+            if series in seen_series:
+                problems.append(f"family {name}: duplicate series {sample.name}")
+            seen_series.add(series)
+        if fam.kind == "histogram":
+            problems.extend(_check_histogram(name, fam))
+    return problems
+
+
+def _check_histogram(name: str, fam: ParsedFamily) -> Iterable[str]:
+    problems: list[str] = []
+    # Group by the non-``le`` label set: one logical histogram each.
+    groups: dict[tuple[tuple[str, str], ...], dict[str, list[ParsedSample]]] = {}
+    for sample in fam.samples:
+        rest = tuple(p for p in sample.labels if p[0] != "le")
+        part = groups.setdefault(rest, {"bucket": [], "sum": [], "count": []})
+        if sample.name == f"{name}_bucket":
+            part["bucket"].append(sample)
+        elif sample.name == f"{name}_sum":
+            part["sum"].append(sample)
+        elif sample.name == f"{name}_count":
+            part["count"].append(sample)
+        else:
+            problems.append(f"family {name}: stray sample {sample.name}")
+    for rest, part in groups.items():
+        where = dict(rest)
+        if not part["bucket"]:
+            problems.append(f"family {name}{where}: no _bucket samples")
+            continue
+        bounds = [dict(s.labels).get("le") for s in part["bucket"]]
+        if bounds[-1] != "+Inf":
+            problems.append(f"family {name}{where}: last bucket is not +Inf")
+        counts = [float(s.value) for s in part["bucket"]]
+        if any(later < earlier for earlier, later in zip(counts, counts[1:])):
+            problems.append(f"family {name}{where}: bucket counts not cumulative")
+        if len(part["sum"]) != 1 or len(part["count"]) != 1:
+            problems.append(f"family {name}{where}: needs exactly one _sum/_count")
+    return problems

@@ -1,0 +1,138 @@
+"""Deterministic cross-process trace context.
+
+A :class:`TraceContext` names one span in one distributed trace:
+``trace_id`` identifies the whole request (one client submission or one
+batch) and ``span_id`` identifies the sender's span, so the receiving
+process can parent its own spans under it.  Both IDs are **pure
+functions** of seeded inputs — SHA-256 digests of ``(seed, tenant,
+submission index)`` for trace IDs and ``(trace_id, site)`` for span IDs
+— never ``uuid4``/wall-clock, so the repo's bit-identical determinism
+contracts extend to trace output (and lint rule ``REP007`` keeps it
+that way).
+
+The active context travels on a :class:`contextvars.ContextVar`, which
+is correct both across threads and across asyncio tasks sharing one
+thread (the gateway/daemon servers):
+:class:`~repro.obs.tracing.Tracer` stamps every span it records with
+whatever context is active, so instrumented code does not thread IDs
+through call signatures.
+
+Wire format (the optional ``trace`` envelope field of
+:mod:`repro.service.protocol` requests, and the ``trace_id`` /
+``parent_span_id`` payload fields of job specs)::
+
+    {"trace_id": "9f86d081884c7d65", "span_id": "60303ae22b998861"}
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Optional
+
+__all__ = [
+    "TraceContext",
+    "derive_trace_id",
+    "derive_span_id",
+    "root_context",
+    "current_trace_context",
+    "trace_context",
+]
+
+#: Domain separator so trace IDs never collide with other digests.
+_TRACE_SALT = b"repro.trace/1:"
+
+#: Hex digits kept per ID (8 bytes — plenty at any realistic scale).
+ID_HEX_CHARS = 16
+
+
+def _digest(material: str) -> str:
+    h = hashlib.sha256(_TRACE_SALT + material.encode("utf-8"))
+    return h.hexdigest()[:ID_HEX_CHARS]
+
+
+def derive_trace_id(seed: int, tenant: str, index: int) -> str:
+    """The trace ID of submission ``index`` from ``tenant`` under ``seed``.
+
+    Deterministic: the same ``(seed, tenant, index)`` triple always
+    yields the same 16-hex-char ID, in any process.
+    """
+    return _digest(f"trace:{seed}:{tenant}:{index}")
+
+def derive_span_id(trace_id: str, site: str) -> str:
+    """The span ID of instrumentation ``site`` within ``trace_id``.
+
+    ``site`` names the code location uniquely *within one trace*
+    (e.g. ``"gateway.forward:3"``), so no mutable counter is needed.
+    """
+    return _digest(f"span:{trace_id}:{site}")
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """One span's identity within a distributed trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    def child(self, site: str) -> "TraceContext":
+        """The context of a child span opened at ``site``."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=derive_span_id(self.trace_id, site),
+            parent_id=self.span_id,
+        )
+
+    def to_wire(self) -> dict[str, str]:
+        """The cross-process form: ``parent_id`` is process-local."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> Optional["TraceContext"]:
+        """Parse a wire dict; returns ``None`` on anything malformed."""
+        if not isinstance(payload, Mapping):
+            return None
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        if not isinstance(span_id, str) or not span_id:
+            span_id = derive_span_id(trace_id, "root")
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+def root_context(
+    seed: int, tenant: str, index: int, site: str = "client.submit"
+) -> TraceContext:
+    """The root context a client opens for one submission."""
+    trace_id = derive_trace_id(seed, tenant, index)
+    return TraceContext(trace_id=trace_id, span_id=derive_span_id(trace_id, site))
+
+
+# -- active context (contextvar: asyncio-task- and thread-correct) ----------
+
+_ACTIVE_TRACE: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """The trace context active in this task/thread (``None`` if untagged)."""
+    return _ACTIVE_TRACE.get()
+
+
+@contextmanager
+def trace_context(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Activate ``ctx`` for the dynamic extent of the ``with`` block.
+
+    Spans recorded inside are stamped with it.  ``None`` is accepted and
+    deactivates tagging, so call sites need no conditional.
+    """
+    token = _ACTIVE_TRACE.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _ACTIVE_TRACE.reset(token)

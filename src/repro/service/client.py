@@ -34,6 +34,7 @@ import socket
 import time
 from typing import Any, Optional
 
+from repro.obs.tracectx import TraceContext
 from repro.service.protocol import (
     JobSpec,
     ProtocolError,
@@ -161,12 +162,24 @@ class ServiceClient:
 
     # -- request plumbing --------------------------------------------------
 
-    def call(self, op: str, **params: Any) -> dict[str, Any]:
-        """Send one request; return the ``result`` dict or raise."""
+    def call(
+        self, op: str, _trace: Optional[TraceContext] = None, **params: Any
+    ) -> dict[str, Any]:
+        """Send one request; return the ``result`` dict or raise.
+
+        ``_trace`` (keyword, underscored to stay clear of verb params)
+        attaches a trace-context envelope so the receiving process
+        parents its spans under the caller's span.
+        """
         self.connect()
         assert self._file is not None
         self._next_id += 1
-        request = Request(op=op, id=f"c{self._next_id}", params=params)
+        request = Request(
+            op=op,
+            id=f"c{self._next_id}",
+            params=params,
+            trace=_trace.to_wire() if _trace is not None else None,
+        )
         self._file.write(request.encode())
         self._file.flush()
         line = self._file.readline()
@@ -193,17 +206,23 @@ class ServiceClient:
         result["rtt_ms"] = (time.perf_counter() - start) * 1000.0
         return result
 
-    def submit(self, spec: JobSpec) -> dict[str, Any]:
+    def submit(
+        self, spec: JobSpec, trace: Optional[TraceContext] = None
+    ) -> dict[str, Any]:
         """Submit a job; returns job_id plus the admission outcome."""
-        return self.call("submit", **spec.to_payload())
+        return self.call("submit", _trace=trace, **spec.to_payload())
 
-    def submit_batch(self, specs: list[JobSpec] | list[dict[str, Any]]) -> list[dict[str, Any]]:
+    def submit_batch(
+        self,
+        specs: list[JobSpec] | list[dict[str, Any]],
+        trace: Optional[TraceContext] = None,
+    ) -> list[dict[str, Any]]:
         """Submit many jobs in one round trip; per-job outcomes in order."""
         jobs = [
             spec.to_payload() if isinstance(spec, JobSpec) else dict(spec)
             for spec in specs
         ]
-        out = self.call("submit_batch", jobs=jobs)
+        out = self.call("submit_batch", _trace=trace, jobs=jobs)
         return list(out.get("results", []))
 
     def status(self, job_id: Optional[str] = None) -> dict[str, Any]:
@@ -260,6 +279,19 @@ class ServiceClient:
         if slowdown is not None:
             params["slowdown"] = slowdown
         return self.call("faultctl", **params)
+
+    def trace_dump(
+        self, deterministic: bool = False, reset: bool = False
+    ) -> dict[str, Any]:
+        """The server's span dump.
+
+        Against a single daemon: its raw spans (``events``/``dropped``).
+        Against the gateway: one merged Chrome-trace document covering
+        the gateway and every worker (``trace`` key), with
+        ``deterministic`` re-keying timestamps onto the canonical order
+        so same-seed dumps are byte-identical.
+        """
+        return self.call("trace_dump", deterministic=deterministic, reset=reset)
 
     def snapshot(self) -> str:
         """Force a snapshot; returns its path."""

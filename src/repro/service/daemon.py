@@ -49,6 +49,7 @@ from repro.service.protocol import (
     parse_request,
 )
 from repro.obs.observer import Observer
+from repro.obs.tracectx import TraceContext, derive_span_id, trace_context
 from repro.obs.tracing import NullTracer, Tracer
 from repro.service.snapshot import SnapshotManager
 from repro.service.telemetry import RunningJctStats, TelemetryExporter, round_record
@@ -206,7 +207,26 @@ class SchedulerService:
     # -- verbs -------------------------------------------------------------
 
     def submit(self, spec: JobSpec) -> dict[str, Any]:
-        """Admit, queue, or reject one submission."""
+        """Admit, queue, or reject one submission.
+
+        Traced submissions (``spec.trace_id`` set, tracing on) record a
+        ``worker.admission`` span parented under the sender's span and
+        echo ``trace_id`` in the result.
+        """
+        if spec.trace_id is None or not self.observer.tracer.enabled:
+            return self._submit(spec)
+        ctx = TraceContext(
+            trace_id=spec.trace_id,
+            span_id=derive_span_id(spec.trace_id, "worker.admission"),
+            parent_id=spec.parent_span_id,
+        )
+        with trace_context(ctx):
+            with self.observer.span("worker.admission", job_id=spec.job_id):
+                result = self._submit(spec)
+        result["trace_id"] = spec.trace_id
+        return result
+
+    def _submit(self, spec: JobSpec) -> dict[str, Any]:
         if self.draining:
             self._submissions_total.labels("rejected").inc()
             return {"job_id": spec.job_id, "status": "rejected", "reason": "draining"}
@@ -226,6 +246,7 @@ class SchedulerService:
             round_index=self.engine.round_index,
             detail=decision.value,
             model=spec.model_name,
+            **({"trace_id": spec.trace_id} if spec.trace_id else {}),
         )
         if decision is AdmissionDecision.ADMIT:
             self.engine.inject_job(job)
@@ -410,6 +431,17 @@ class SchedulerService:
             "queued": event.to_json(),
             "applies_at_round": self.engine.round_index + 1,
         }
+
+    def trace_dump(self, reset: bool = False) -> dict[str, Any]:
+        """The tracer's spans in collector wire form (``trace_dump``).
+
+        ``reset`` clears the stored spans after dumping (the ``seq``
+        counter keeps counting) so repeated dumps stream increments.
+        """
+        dump = self.observer.tracer.dump(role="daemon", reset=reset)
+        dump["seed"] = self.config.seed
+        dump["enabled"] = self.observer.tracer.enabled
+        return dump
 
     def snapshot_now(self) -> Optional[str]:
         """Persist a snapshot immediately; returns its path."""
@@ -602,7 +634,13 @@ class SchedulerDaemon:
             jobs = params.get("jobs")
             if not isinstance(jobs, list):
                 raise ProtocolError("submit_batch requires jobs (a list)")
-            return Response.success(core.submit_batch(jobs), id=request.id)
+            ctx = self._request_trace(request, "worker.submit_batch")
+            if ctx is None:
+                return Response.success(core.submit_batch(jobs), id=request.id)
+            with trace_context(ctx):
+                with core.observer.span("worker.submit_batch", jobs=len(jobs)):
+                    result = core.submit_batch(jobs)
+            return Response.success(result, id=request.id)
         if request.op == "status":
             return Response.success(core.status(params.get("job_id")), id=request.id)
         if request.op == "cancel":
@@ -654,6 +692,11 @@ class SchedulerDaemon:
                 ),
                 id=request.id,
             )
+        if request.op == "trace_dump":
+            return Response.success(
+                core.trace_dump(reset=bool(params.get("reset", False))),
+                id=request.id,
+            )
         if request.op == "snapshot":
             path = core.snapshot_now()
             if path is None:
@@ -663,6 +706,21 @@ class SchedulerDaemon:
             self._stop.set()
             return Response.success({"stopping": True}, id=request.id)
         raise ProtocolError(f"unhandled op {request.op!r}")
+
+    def _request_trace(
+        self, request: Request, site: str
+    ) -> Optional[TraceContext]:
+        """The local span context for a traced request (``None`` off)."""
+        if request.trace is None or not self.core.observer.tracer.enabled:
+            return None
+        remote = TraceContext.from_wire(request.trace)
+        if remote is None:
+            return None
+        return TraceContext(
+            trace_id=remote.trace_id,
+            span_id=derive_span_id(remote.trace_id, site),
+            parent_id=remote.span_id,
+        )
 
     async def _drain(self, max_rounds: int) -> dict[str, Any]:
         """Cooperative drain: yields to the loop between rounds."""

@@ -37,6 +37,23 @@ Verbs
 ``gossip``   Force an occupancy/health poll of every worker and return
              the resulting occupancy board (gateway only).
 ``shutdown`` Stop the daemon (snapshotting first when configured).
+``trace_dump``
+             The process's recorded spans (raw
+             :class:`~repro.obs.tracing.SpanRecord` dicts plus the
+             dropped-span count).  A single daemon returns its own; the
+             gateway fans out and merges every worker's dump with its
+             own into one Chrome-trace document with a lane per process
+             (see :mod:`repro.obs.distributed`).
+
+Trace context
+-------------
+Any request may carry an optional ``trace`` envelope field —
+``{"trace_id": ..., "span_id": ...}`` — naming the sender's span, so
+the receiving process parents its spans under the caller's
+(:mod:`repro.obs.tracectx`).  Job payloads additionally carry optional
+``trace_id`` / ``parent_span_id`` fields for per-submission traces.
+IDs are seeded SHA-256 digests, never ``uuid``/wall-clock, so traced
+runs stay bit-reproducible.
 
 A gateway front tier (:mod:`repro.gateway`) speaks the same protocol
 over TCP and fans the verbs out across its partition workers, so one
@@ -69,15 +86,17 @@ VERBS = frozenset(
         "snapshot",
         "ping",
         "shutdown",
+        "trace_dump",
     }
 )
 
 
 #: asyncio stream line limit for every listener/connection speaking this
-#: protocol.  One ``submit_batch`` line carries the whole batch, so the
-#: default 64 KiB StreamReader limit truncates large batches; 16 MiB
-#: comfortably fits tens of thousands of jobs per line.
-STREAM_LIMIT = 16 * 1024 * 1024
+#: protocol.  One ``submit_batch`` line carries the whole batch and one
+#: ``trace_dump`` line carries a whole span dump, so the default 64 KiB
+#: StreamReader limit truncates them; 64 MiB comfortably fits tens of
+#: thousands of jobs — or a full 500k-span tracer ring — per line.
+STREAM_LIMIT = 64 * 1024 * 1024
 
 
 class ProtocolError(ValueError):
@@ -95,6 +114,10 @@ class JobSpec:
     consistent-hash ring routes on it (falling back to the job id) so
     one tenant's jobs land on one partition.  A single daemon ignores
     it beyond echoing it in ``status``.
+
+    ``trace_id`` / ``parent_span_id`` carry the submission's distributed
+    trace context (:mod:`repro.obs.tracectx`); the worker parents its
+    admission span under them.  Untraced runs omit both.
     """
 
     model_name: str = "alexnet"
@@ -105,6 +128,8 @@ class JobSpec:
     training_data_mb: float = 500.0
     job_id: Optional[str] = None
     tenant: Optional[str] = None
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
     def validate(self) -> None:
         """Raise ``ProtocolError`` on out-of-domain fields."""
@@ -118,11 +143,15 @@ class JobSpec:
             raise ProtocolError("urgency must be >= 0")
         if self.training_data_mb <= 0:
             raise ProtocolError("training_data_mb must be positive")
+        for name in ("trace_id", "parent_span_id"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, str) or not value):
+                raise ProtocolError(f"{name} must be a non-empty string")
 
     def to_payload(self) -> dict[str, Any]:
         """The JSON-safe dict form (unset optional fields omitted)."""
         payload = asdict(self)
-        for optional in ("job_id", "tenant"):
+        for optional in ("job_id", "tenant", "trace_id", "parent_span_id"):
             if payload[optional] is None:
                 del payload[optional]
         return payload
@@ -144,17 +173,26 @@ class JobSpec:
 
 @dataclass(frozen=True, slots=True)
 class Request:
-    """One decoded client request."""
+    """One decoded client request.
+
+    ``trace`` is the optional trace-context envelope (a
+    ``{"trace_id", "span_id"}`` dict naming the sender's span); it is
+    verb-independent, so any call can be traced without widening verb
+    signatures.
+    """
 
     op: str
     id: Optional[str] = None
     params: dict[str, Any] = field(default_factory=dict)
+    trace: Optional[dict[str, Any]] = None
 
     def encode(self) -> bytes:
         """Serialize to one wire line."""
         body = {"op": self.op, **self.params}
         if self.id is not None:
             body["id"] = self.id
+        if self.trace is not None:
+            body["trace"] = self.trace
         return encode_line(body)
 
 
@@ -219,7 +257,10 @@ def parse_request(line: bytes | str) -> Request:
     request_id = body.pop("id", None)
     if request_id is not None and not isinstance(request_id, str):
         raise ProtocolError("id must be a string")
-    return Request(op=op, id=request_id, params=body)
+    trace = body.pop("trace", None)
+    if trace is not None and not isinstance(trace, dict):
+        raise ProtocolError("trace must be an object")
+    return Request(op=op, id=request_id, params=body, trace=trace)
 
 
 def parse_response(line: bytes | str) -> Response:

@@ -1,4 +1,4 @@
-"""Seeded lint fixture: exactly one violation of each rule REP001-REP006.
+"""Seeded lint fixture: exactly one violation of each rule REP001-REP007.
 
 ``tests/test_check_lint.py`` asserts that ``repro lint`` reports exactly
 these rule ids (once each) on this file.  The file sits outside the
@@ -8,6 +8,7 @@ import this module -- it exists only to be linted.
 
 import random
 import time
+import uuid
 
 
 def wall_clock() -> float:
@@ -36,3 +37,7 @@ def same_priority(score: float, other_score: float) -> bool:
 
 def report(value: float) -> None:
     print(value)  # REP006: print in library code
+
+
+def fresh_id() -> str:
+    return uuid.uuid4().hex  # REP007: non-deterministic ID source

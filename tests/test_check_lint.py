@@ -168,10 +168,54 @@ class TestRep006PrintInLibrary:
         assert rule_ids("print('x')  # repro-lint: disable=all\n") == []
 
 
+class TestRep007NondeterministicId:
+    def test_uuid4(self):
+        assert rule_ids("import uuid\nx = uuid.uuid4()\n") == ["REP007"]
+
+    def test_from_import(self):
+        assert rule_ids("from uuid import uuid4\nx = uuid4()\n") == ["REP007"]
+
+    def test_secrets(self):
+        assert rule_ids("import secrets\nx = secrets.token_hex(8)\n") == [
+            "REP007"
+        ]
+
+    def test_os_urandom(self):
+        assert rule_ids("import os\nx = os.urandom(8)\n") == ["REP007"]
+
+    def test_untraced_scope_allowed(self):
+        src = "import uuid\nx = uuid.uuid4()\n"
+        assert rule_ids(src, scope=LIBRARY_ONLY) == []
+
+    def test_deterministic_uuid5_still_flagged(self):
+        # uuid5 is content-addressed but namespace-dependent; the repo
+        # standard is repro.obs.tracectx, so it is rejected too.
+        src = "import uuid\nx = uuid.uuid5(uuid.NAMESPACE_DNS, 'a')\n"
+        assert rule_ids(src) == ["REP007"]
+
+    def test_os_path_allowed(self):
+        assert rule_ids("import os\nx = os.path.exists('/tmp')\n") == []
+
+    def test_suppressed(self):
+        src = "import uuid\nx = uuid.uuid4()  # repro-lint: disable=REP007\n"
+        assert rule_ids(src) == []
+
+
 class TestScoping:
     def test_sim_package_is_clocked(self):
         scope = scope_for_path(SRC / "repro" / "sim" / "engine.py")
         assert scope.clocked and scope.library
+
+    def test_obs_package_is_traced(self):
+        scope = scope_for_path(SRC / "repro" / "obs" / "tracectx.py")
+        assert scope.traced and not scope.clocked
+
+    def test_gateway_and_service_are_traced(self):
+        assert scope_for_path(SRC / "repro" / "gateway" / "server.py").traced
+        assert scope_for_path(SRC / "repro" / "service" / "daemon.py").traced
+
+    def test_sim_package_not_traced(self):
+        assert not scope_for_path(SRC / "repro" / "sim" / "engine.py").traced
 
     def test_analysis_package_not_clocked(self):
         scope = scope_for_path(SRC / "repro" / "analysis" / "cdf.py")
@@ -199,18 +243,19 @@ class TestReportsAndCatalogue:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         ]
 
     def test_render_text_shape(self):
         violations = lint_file(FIXTURE)
         text = render_text(violations)
-        assert text.endswith("6 violation(s)")
+        assert text.endswith("7 violation(s)")
         assert f"{FIXTURE}" in text.splitlines()[0]
 
     def test_render_json_round_trips(self):
         violations = lint_file(FIXTURE)
         payload = json.loads(render_json(violations))
-        assert payload["count"] == 6
+        assert payload["count"] == 7
         assert {v["rule"] for v in payload["violations"]} == set(RULES) - {"REP000"}
         for entry in payload["violations"]:
             assert entry["name"] == RULES[entry["rule"]].name

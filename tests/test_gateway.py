@@ -4,7 +4,10 @@ Covers the occupancy board and global admission gate, client target
 parsing and connect retry, the worker-side ``submit_batch`` verb and
 graceful SIGTERM, the supervisor, and the gateway daemon end to end —
 routing, batching, aggregation, door admission, the load generator and
-the per-worker telemetry determinism contract (DESIGN.md §12).
+the per-worker telemetry determinism contract (DESIGN.md §12), plus the
+distributed-tracing contract (DESIGN.md §13): client → gateway → worker
+span chains, fan-out span integrity, bit-identical deterministic trace
+dumps, and the merged per-worker Prometheus exposure.
 """
 
 from __future__ import annotations
@@ -31,6 +34,13 @@ from repro.gateway import (
     worker_service_configs,
 )
 from repro.gateway.loadgen import generate_payloads
+from repro.obs import (
+    derive_span_id,
+    derive_trace_id,
+    root_context,
+    validate_metrics_text,
+)
+from repro.obs.distributed import analyze_trace, trace_summary
 from repro.service import JobSpec, ServiceClient, ServiceConfig, parse_target
 from repro.service.admission import AdmissionDecision
 from repro.service.daemon import ThreadedDaemon
@@ -169,6 +179,25 @@ class TestWorkerVerbs:
                 assert results[2]["status"] == "error"
                 # Responses gossip the worker's smoothed overload back.
                 assert "overload_degree" in results[0]
+
+    def test_metrics_text_is_compliant_prometheus(self, tmp_path):
+        config = ServiceConfig(
+            socket_path=str(tmp_path / "w.sock"), round_interval=0.0
+        )
+        with ThreadedDaemon(config) as daemon:
+            with ServiceClient(daemon.socket_path) as client:
+                client.submit_batch([JobSpec(job_id="a"), JobSpec(job_id="b")])
+                client.step(2)
+                text = client.metrics_text()
+        assert validate_metrics_text(text) == []
+        # HELP/TYPE appear exactly once per family, families sorted.
+        type_names = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        assert type_names == sorted(type_names)
+        assert len(type_names) == len(set(type_names))
 
     def test_ping_reports_role_and_round(self, tmp_path):
         config = ServiceConfig(
@@ -388,6 +417,16 @@ class TestLoadgen:
         assert a != c
         assert [p["job_id"] for p in a] == [f"lg-{i:07d}" for i in range(50)]
 
+    def test_trace_flag_adds_ids_without_perturbing_payloads(self):
+        plain = list(generate_payloads(12, tenants=3, seed=5))
+        traced = list(generate_payloads(12, tenants=3, seed=5, trace=True))
+        assert all("trace_id" not in p for p in plain)
+        for index, (bare, tagged) in enumerate(zip(plain, traced)):
+            tagged = dict(tagged)
+            trace_id = tagged.pop("trace_id")
+            assert tagged == bare  # byte-identical stream otherwise
+            assert trace_id == derive_trace_id(5, bare["tenant"], index)
+
     def test_loadgen_replays_without_loss_or_duplication(self, tmp_path):
         with ThreadedGateway(gateway_config(tmp_path, workers=2)) as gateway:
             result = run_loadgen(
@@ -434,6 +473,115 @@ class TestDeterminismContract:
         first = self.run_trace(tmp_path / "run-a", seed=0)
         second = self.run_trace(tmp_path / "run-c", seed=100)
         assert any(first[name] != second[name] for name in first)
+
+
+def _trace_spans(doc: dict) -> list[dict]:
+    """The duration events of a merged Chrome-trace document."""
+    return [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+
+
+class TestDistributedTracing:
+    """The tentpole contract: client → gateway → worker span chains."""
+
+    def test_single_submit_chains_client_gateway_worker(self, tmp_path):
+        ctx = root_context(seed=5, tenant="acme", index=0)
+        spec = JobSpec(job_id="traced-1", tenant="acme", trace_id=ctx.trace_id)
+        with ThreadedGateway(gateway_config(tmp_path, trace=True)) as gateway:
+            with ServiceClient(gateway.target) as client:
+                result = client.submit(spec, trace=ctx)
+                assert result["status"] == "admitted"
+                assert result["trace_id"] == ctx.trace_id
+                dump = client.trace_dump()
+        assert dump["enabled"] is True
+        spans = {}
+        for event in _trace_spans(dump["trace"]):
+            args = event.get("args") or {}
+            if args.get("trace_id") == ctx.trace_id:
+                spans[event["name"]] = args
+        gw = spans["gateway.submit"]
+        worker = spans["worker.admission"]
+        # Gateway span is parented under the client's root span...
+        assert gw["span_id"] == derive_span_id(ctx.trace_id, "gateway.submit")
+        assert gw["parent_id"] == ctx.span_id
+        # ...and the worker's admission span under the gateway's.
+        assert worker["span_id"] == derive_span_id(ctx.trace_id, "worker.admission")
+        assert worker["parent_id"] == gw["span_id"]
+
+    def test_batch_fanout_spans_match_across_lanes(self, tmp_path):
+        config = gateway_config(tmp_path, workers=2, trace=True)
+        with ThreadedGateway(config) as gateway:
+            with ServiceClient(gateway.target) as client:
+                payloads = list(generate_payloads(60, tenants=8, seed=2, trace=True))
+                client.submit_batch(payloads[:30])
+                client.submit_batch(payloads[30:])
+                dump = client.trace_dump()
+        assert dump["processes"] == ["gateway", "worker-00", "worker-01"]
+        summary = trace_summary(dump["trace"])
+        assert summary["lanes"] >= 3  # gateway + both workers recorded spans
+        analysis = analyze_trace(dump["trace"])
+        # Cross-process integrity: every gateway fan-out RPC has a
+        # matching worker-side span parented under it.
+        assert analysis["forward_spans"] >= 2
+        assert analysis["forward_spans_matched"] == analysis["forward_spans"]
+        assert analysis["submissions"] == 60
+        assert analysis["categories"]["gateway_batch"]["count"] == 2
+        # Each admission span joins its payload's client-derived trace.
+        by_trace = {
+            (e.get("args") or {}).get("trace_id")
+            for e in _trace_spans(dump["trace"])
+            if e["name"] == "worker.admission"
+        }
+        assert derive_trace_id(2, payloads[0]["tenant"], 0) in by_trace
+
+    def test_trace_dump_reports_disabled_when_off(self, tmp_path):
+        with ThreadedGateway(gateway_config(tmp_path)) as gateway:
+            with ServiceClient(gateway.target) as client:
+                client.submit_batch([{"job_id": "plain-1"}])
+                dump = client.trace_dump()
+        assert dump["enabled"] is False
+        assert _trace_spans(dump["trace"]) == []
+
+    def run_traced(self, workdir: Path, seed: int = 0) -> bytes:
+        """One traced gateway run over the canonical submission stream."""
+        config = gateway_config(
+            Path(workdir), workers=2, seed=seed, telemetry=False, trace=True
+        )
+        with ThreadedGateway(config) as gateway:
+            with ServiceClient(gateway.target) as client:
+                payloads = list(generate_payloads(60, tenants=6, seed=9, trace=True))
+                for start in range(0, 60, 20):
+                    client.submit_batch(payloads[start : start + 20])
+                    client.step(2)
+                client.drain()
+                dump = client.trace_dump(deterministic=True)
+        assert dump["enabled"] is True
+        return json.dumps(dump["trace"], sort_keys=True).encode()
+
+    def test_same_seed_traced_runs_dump_identical_bytes(self, tmp_path):
+        first = self.run_traced(tmp_path / "run-a")
+        second = self.run_traced(tmp_path / "run-b")
+        assert json.loads(first)["traceEvents"], "trace is empty"
+        assert first == second
+
+    def test_gateway_metrics_text_merges_workers_with_labels(self, tmp_path):
+        with ThreadedGateway(gateway_config(tmp_path, workers=2)) as gateway:
+            with ServiceClient(gateway.target) as client:
+                payloads = list(generate_payloads(40, tenants=8, seed=1))
+                client.submit_batch(payloads)
+                client.step(2)
+                text = client.metrics_text()
+        assert validate_metrics_text(text) == []
+        # Every source appears as a worker label on its samples.
+        assert 'worker="gateway"' in text
+        assert 'worker="0"' in text
+        assert 'worker="1"' in text
+        type_names = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        assert type_names == sorted(type_names)
+        assert len(type_names) == len(set(type_names))
 
 
 class TestGatewaySpec:

@@ -5,10 +5,17 @@ the tracer (span nesting, the disabled no-op path, Chrome-trace
 round-tripping), per-job timelines, and the engine integration: phase
 spans per scheduler, trace files written by ``SimulationEngine(trace=)``
 and the zero-cost NULL_OBSERVER default.
+
+The distributed half: deterministic trace/span IDs and the contextvar
+trace context (``repro.obs.tracectx``), asyncio-task isolation of the
+observer/trace routing, Prometheus text parsing/merging/validation
+(``repro.obs.promtext``) and the cluster-wide trace merge and analysis
+(``repro.obs.distributed``).
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import pickle
 
@@ -23,13 +30,32 @@ from repro.obs import (
     NullTracer,
     Observer,
     SCHEDULER_PHASES,
+    SpanRecord,
     TimelineEvent,
     TimelineRecorder,
+    TraceContext,
     Tracer,
     current_observer,
+    current_trace_context,
+    derive_span_id,
+    derive_trace_id,
+    merge_metrics_text,
+    parse_metrics_text,
+    root_context,
     set_current_observer,
     span,
+    trace_context,
+    validate_metrics_text,
 )
+from repro.obs.distributed import (
+    ProcessTrace,
+    analyze_trace,
+    merge_chrome_traces,
+    render_top,
+    render_trace_analysis,
+    trace_summary,
+)
+from repro.obs.promtext import escape_label_value
 from repro.rl.policy import ScoringPolicy
 from repro.sim import EngineConfig, SimulationEngine
 from repro.workload import build_jobs, generate_trace
@@ -299,3 +325,405 @@ class TestEngineIntegration:
             for r in observed.metrics.job_records
         )
         assert plain_out == observed_out
+
+
+class TestTraceContext:
+    def test_ids_are_deterministic_pure_functions(self):
+        assert derive_trace_id(0, "acme", 1) == derive_trace_id(0, "acme", 1)
+        assert derive_trace_id(0, "acme", 1) != derive_trace_id(0, "acme", 2)
+        assert derive_trace_id(0, "acme", 1) != derive_trace_id(1, "acme", 1)
+        trace_id = derive_trace_id(3, "t", 7)
+        assert len(trace_id) == 16
+        int(trace_id, 16)  # hex
+        assert derive_span_id(trace_id, "a") != derive_span_id(trace_id, "b")
+
+    def test_child_parents_under_current_span(self):
+        root = root_context(seed=0, tenant="t", index=0)
+        assert root.span_id == derive_span_id(root.trace_id, "client.submit")
+        child = root.child("gateway.submit")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id == derive_span_id(root.trace_id, "gateway.submit")
+
+    def test_wire_round_trip_drops_local_parent(self):
+        ctx = root_context(seed=0, tenant="t", index=0).child("gateway.submit")
+        wire = ctx.to_wire()
+        assert set(wire) == {"trace_id", "span_id"}
+        back = TraceContext.from_wire(wire)
+        assert (back.trace_id, back.span_id) == (ctx.trace_id, ctx.span_id)
+        assert back.parent_id is None  # parent_id is process-local
+
+    def test_from_wire_rejects_malformed(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire("not-a-dict") is None
+        assert TraceContext.from_wire({}) is None
+        partial = TraceContext.from_wire({"trace_id": "abc"})
+        assert partial is not None
+        assert partial.span_id == derive_span_id("abc", "root")
+
+    def test_active_context_nests_and_restores(self):
+        assert current_trace_context() is None
+        outer = root_context(seed=0, tenant="t", index=0)
+        with trace_context(outer):
+            assert current_trace_context() is outer
+            with trace_context(outer.child("gateway.submit")) as inner:
+                assert current_trace_context() is inner
+            assert current_trace_context() is outer
+            with trace_context(None):  # None deactivates tagging
+                assert current_trace_context() is None
+        assert current_trace_context() is None
+
+
+class TestTracerDistributed:
+    def test_spans_stamp_active_trace_context(self):
+        tracer = Tracer()
+        ctx = root_context(seed=1, tenant="t", index=0).child("gateway.submit")
+        with tracer.span("gateway.submit", ctx=ctx, job_id="j1"):
+            pass
+        with tracer.span("untagged"):
+            pass
+        tagged, untagged = tracer.events
+        assert tagged.trace_id == ctx.trace_id
+        assert tagged.span_id == ctx.span_id
+        assert tagged.parent_id == ctx.parent_id
+        assert tagged.args == {"job_id": "j1"}
+        assert untagged.trace_id is None
+
+    def test_seq_is_monotone_and_survives_pickle(self):
+        tracer = Tracer()
+        with tracer.span("round"):
+            pass
+        with tracer.span("priority"):
+            pass
+        clone = pickle.loads(pickle.dumps(tracer))
+        assert [r.name for r in clone.events] == ["round", "priority"]
+        assert [r.seq for r in clone.events] == [0, 1]
+        with clone.span("placement"):
+            pass
+        # Snapshot/restore keeps counting where it left off.
+        assert clone.events[-1].seq == 2
+
+    def test_dump_round_trips_and_resets(self):
+        tracer = Tracer()
+        with tracer.span("round", jobs=3):
+            pass
+        kept = list(tracer.events)
+        dump = tracer.dump(role="daemon", reset=True)
+        assert dump["role"] == "daemon"
+        assert dump["dropped"] == 0
+        assert tracer.events == []  # reset cleared storage
+        assert [SpanRecord.from_dict(r) for r in dump["events"]] == kept
+        # The seq counter keeps counting across reset boundaries.
+        with tracer.span("round"):
+            pass
+        assert tracer.events[0].seq == 1
+
+
+class TestAsyncContextIsolation:
+    """ContextVar routing: tasks interleaving on one event loop (the
+    gateway/daemon servers) must not leak observers or trace contexts
+    into one another — the regression the thread-local → contextvar
+    migration exists to prevent."""
+
+    def test_observers_are_task_local_under_interleaving(self):
+        async def worker(name, obs, gate):
+            set_current_observer(obs)
+            await gate.wait()  # both tasks have activated their observer
+            with span("round", task=name):
+                await asyncio.sleep(0)  # interleave inside the span
+            assert current_observer() is obs
+
+        async def main():
+            a, b = Observer(tracer=Tracer()), Observer(tracer=Tracer())
+            gate = asyncio.Event()
+            tasks = [
+                asyncio.create_task(worker("a", a, gate)),
+                asyncio.create_task(worker("b", b, gate)),
+            ]
+            await asyncio.sleep(0)
+            gate.set()
+            await asyncio.gather(*tasks)
+            return a, b
+
+        a, b = asyncio.run(main())
+        # Each task's spans landed only on its own observer.
+        assert [(r.name, r.args) for r in a.tracer.events] == [("round", {"task": "a"})]
+        assert [(r.name, r.args) for r in b.tracer.events] == [("round", {"task": "b"})]
+        # Task-local activation never leaked into the calling thread.
+        assert current_observer() is NULL_OBSERVER
+
+    def test_trace_contexts_are_task_local(self):
+        tracer = Tracer()
+
+        async def tagged(index):
+            ctx = root_context(seed=0, tenant="t", index=index)
+            with tracer.span("op", ctx=ctx.child(f"site-{index}"), index=index):
+                await asyncio.sleep(0)
+            return ctx
+
+        async def main():
+            return await asyncio.gather(*(tagged(i) for i in range(4)))
+
+        contexts = asyncio.run(main())
+        by_index = {r.args["index"]: r for r in tracer.events}
+        assert len(by_index) == 4
+        for index, ctx in enumerate(contexts):
+            record = by_index[index]
+            assert record.trace_id == ctx.trace_id
+            assert record.parent_id == ctx.span_id  # child of that task's root
+
+
+class TestPromText:
+    def test_parse_families_and_labels(self):
+        text = (
+            "# HELP reqs Requests seen.\n"
+            "# TYPE reqs counter\n"
+            'reqs{kind="read"} 2\n'
+            'reqs{kind="write"} 1\n'
+            "# TYPE depth gauge\n"
+            "depth 4\n"
+        )
+        families = parse_metrics_text(text)
+        assert set(families) == {"reqs", "depth"}
+        assert families["reqs"].kind == "counter"
+        assert families["reqs"].help == "Requests seen."
+        assert [s.labels for s in families["reqs"].samples] == [
+            (("kind", "read"),),
+            (("kind", "write"),),
+        ]
+        assert families["depth"].samples[0].value == "4"
+
+    def test_escaped_label_values_round_trip(self):
+        value = 'quo"te\\slash\nnewline'
+        text = f'# TYPE m counter\nm{{l="{escape_label_value(value)}"}} 1\n'
+        families = parse_metrics_text(text)
+        assert families["m"].samples[0].labels == (("l", value),)
+
+    def test_histogram_samples_fold_into_their_family(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", "Latency.", buckets=(0.1, 1.0))
+        hist.observe(0.5)
+        families = parse_metrics_text(reg.render_text())
+        assert set(families) == {"lat"}
+        names = {s.name for s in families["lat"].samples}
+        assert names == {"lat_bucket", "lat_sum", "lat_count"}
+
+    def test_merge_tags_sources_and_emits_headers_once(self):
+        a = "# HELP x Help.\n# TYPE x counter\nx 1\n"
+        b = "# TYPE x counter\nx 2\n"
+        merged = merge_metrics_text({"gateway": a, "0": b})
+        assert merged.count("# TYPE x counter") == 1
+        assert merged.count("# HELP x Help.") == 1
+        assert 'x{worker="gateway"} 1' in merged
+        assert 'x{worker="0"} 2' in merged
+        assert validate_metrics_text(merged) == []
+
+    def test_merge_orders_families_by_name(self):
+        exposure = "# TYPE z counter\nz 1\n# TYPE a counter\na 1\n"
+        merged = merge_metrics_text({"w": exposure})
+        assert merged.index("# TYPE a counter") < merged.index("# TYPE z counter")
+
+    def test_merge_source_label_prepends_to_existing_labels(self):
+        exposure = '# TYPE x counter\nx{kind="read"} 1\n'
+        merged = merge_metrics_text({"3": exposure}, label="worker")
+        assert 'x{worker="3",kind="read"} 1' in merged
+
+    def test_merge_rejects_kind_conflicts(self):
+        with pytest.raises(ValueError):
+            merge_metrics_text(
+                {"a": "# TYPE x counter\nx 1\n", "b": "# TYPE x gauge\nx 2\n"}
+            )
+
+    def test_validate_catches_format_problems(self):
+        assert validate_metrics_text("") == []
+        assert validate_metrics_text("x 1\n") == [
+            "family x: samples without a # TYPE header"
+        ]
+        dup = "# TYPE x counter\nx 1\nx 2\n"
+        assert any("duplicate series" in p for p in validate_metrics_text(dup))
+        assert any(
+            "newline" in p for p in validate_metrics_text("# TYPE x counter\nx 1")
+        )
+        assert validate_metrics_text("# TYPE x counter\nx not-a-number\n")
+
+    def test_validate_histogram_rules(self):
+        not_cumulative = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\n'
+            'h_bucket{le="+Inf"} 1\n'
+            "h_sum 3\n"
+            "h_count 1\n"
+        )
+        assert any(
+            "not cumulative" in p for p in validate_metrics_text(not_cumulative)
+        )
+        no_inf = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 1\n"
+            "h_count 1\n"
+        )
+        assert any("+Inf" in p for p in validate_metrics_text(no_inf))
+
+    def test_registry_render_is_sorted_and_valid(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta_total", "Last.").inc()
+        reg.gauge("alpha_depth", "First.").set(1)
+        reg.histogram("mid_lat", "Middle.", buckets=(1.0,)).observe(0.5)
+        text = reg.render_text()
+        assert validate_metrics_text(text) == []
+        assert list(parse_metrics_text(text)) == [
+            "alpha_depth",
+            "mid_lat",
+            "zeta_total",
+        ]
+
+
+def _record(name, seq, **extra):
+    """A span-record wire dict for merge tests."""
+    base = {"name": name, "start_us": 10.0 * seq, "dur_us": 5.0, "depth": 0, "seq": seq}
+    base.update(extra)
+    return base
+
+
+class TestDistributedMerge:
+    def test_merge_assigns_lanes_and_metadata(self):
+        gateway = ProcessTrace(
+            name="gateway",
+            events=[
+                _record("gateway.submit", 0, trace_id="t1", span_id="g1"),
+            ],
+        )
+        worker = ProcessTrace(
+            name="worker-00",
+            events=[
+                _record(
+                    "worker.admission", 0, trace_id="t1", span_id="w1", parent_id="g1"
+                ),
+            ],
+            dropped=1,
+        )
+        doc = merge_chrome_traces([gateway, worker])
+        lanes = {
+            event["pid"]: event["args"]["name"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert lanes == {1: "gateway", 2: "worker-00"}
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in spans} == {1, 2}
+        # Cross-lane parent/child identity rides in the args.
+        by_name = {e["name"]: e["args"] for e in spans}
+        assert by_name["worker.admission"]["parent_id"] == "g1"
+        assert trace_summary(doc) == {
+            "processes": ["gateway", "worker-00"],
+            "lanes": 2,
+            "spans": 2,
+            "traces": 1,
+            "dropped": 1,
+        }
+
+    def test_deterministic_merge_is_arrival_order_invariant(self):
+        events = [
+            _record("gateway.forward", 0, trace_id="t1", span_id="f1"),
+            _record("gateway.forward", 1, trace_id="t1", span_id="f2"),
+        ]
+        one = merge_chrome_traces(
+            [ProcessTrace("gateway", list(events))], deterministic=True
+        )
+        other = merge_chrome_traces(
+            [ProcessTrace("gateway", list(reversed(events)))], deterministic=True
+        )
+        assert json.dumps(one, sort_keys=True) == json.dumps(other, sort_keys=True)
+        spans = [e for e in one["traceEvents"] if e["ph"] == "X"]
+        assert [e["ts"] for e in spans] == [0.0, 1.0]  # ordinal timestamps
+        assert all(e["dur"] == 1.0 for e in spans)
+        assert one["otherData"]["deterministic"] is True
+
+    def _synthetic_doc(self):
+        gateway = ProcessTrace(
+            name="gateway",
+            events=[
+                _record(
+                    "gateway.submit_batch", 0, dur_us=1000.0,
+                    trace_id="tb", span_id="b1",
+                ),
+                _record(
+                    "gateway.forward", 1, dur_us=800.0,
+                    trace_id="tb", span_id="f1", parent_id="b1",
+                ),
+                _record(
+                    "gateway.forward", 2, dur_us=600.0,
+                    trace_id="tb", span_id="f2", parent_id="b1",
+                ),
+            ],
+        )
+        workers = [
+            ProcessTrace(
+                name="worker-00",
+                events=[
+                    _record(
+                        "worker.submit_batch", 0, dur_us=500.0,
+                        trace_id="tb", span_id="wb1", parent_id="f1",
+                    ),
+                    _record("worker.admission", 1, trace_id="t1", span_id="a1"),
+                    _record("worker.admission", 2, trace_id="t2", span_id="a2"),
+                ],
+            ),
+            ProcessTrace(
+                name="worker-01",
+                events=[
+                    _record(
+                        "worker.submit_batch", 0, dur_us=400.0,
+                        trace_id="tb", span_id="wb2", parent_id="f2",
+                    ),
+                    _record("worker.admission", 1, trace_id="t3", span_id="a3"),
+                ],
+            ),
+        ]
+        return merge_chrome_traces([gateway] + workers)
+
+    def test_analyze_trace_critical_path(self):
+        analysis = analyze_trace(self._synthetic_doc())
+        assert analysis["submissions"] == 3
+        assert analysis["forward_spans"] == 2
+        assert analysis["forward_spans_matched"] == 2
+        categories = analysis["categories"]
+        assert categories["gateway_batch"]["count"] == 1
+        # Routing = batch time not spent waiting on the slowest worker.
+        assert categories["gateway_routing"]["max_ms"] == pytest.approx(0.2)
+        # Queue/transport = forward minus the matched worker-side span.
+        assert categories["worker_queue"]["count"] == 2
+        assert categories["worker_queue"]["max_ms"] == pytest.approx(0.3)
+        assert categories["worker_admission"]["count"] == 3
+
+    def test_render_trace_analysis_report(self):
+        report = render_trace_analysis(analyze_trace(self._synthetic_doc()))
+        assert "fan-out integrity: 2/2" in report
+        assert "worker_queue" in report
+        assert "p99_ms" in report
+
+    def test_render_top_frame(self):
+        metrics = {
+            "gateway": {
+                'gateway_submissions_total{outcome="admitted"}': 28.0,
+                'gateway_submissions_total{outcome="rejected"}': 2.0,
+            },
+            "cluster": {"overload_degree": 0.25, "admitting": True},
+            "partitions": {
+                "0": {
+                    "active_jobs": 3,
+                    "queue_depth": 1,
+                    "overload_degree": 0.2,
+                    "admission_queue_depth": 0,
+                    "jobs_submitted": 15,
+                },
+                "1": {"error": "worker down"},
+            },
+        }
+        workers = [{"partition": 0, "alive": True, "rtt_ms": 0.5, "restarts": 0}]
+        frame = render_top(metrics, workers)
+        assert "workers: 2" in frame
+        assert "submitted: 30" in frame
+        assert "door: open" in frame
+        assert "DOWN" in frame  # the erroring partition renders as down

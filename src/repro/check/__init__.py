@@ -22,8 +22,25 @@ three coordinated passes that police them:
   configuration when available and otherwise falls back to an AST
   annotation-coverage check over the strict packages
   (``repro.core``, ``repro.cluster``, ``repro.check``).
+* :mod:`repro.check.graph` -- the whole-program analyzer
+  (``repro analyze``): builds a project-wide symbol table, import graph
+  and call graph, then checks cross-module invariants no per-file pass
+  can see — blocking calls reachable from event-loop coroutines
+  (REP100), wire-protocol verb drift between declaration, handlers and
+  issuers (REP101), unpicklable state reachable from snapshot roots
+  (REP102), and wall-clock/entropy taint flowing into digests,
+  telemetry or trace ids (REP103).  Reports as text, JSON or SARIF
+  2.1.0 (:mod:`repro.check.sarif`) with baseline suppression.
+* :mod:`repro.check.rules` -- the single registry documenting every
+  rule's rationale, scope and disable syntax; ``--explain`` renders it.
 """
 
+from repro.check.graph import (
+    AnalyzerConfig,
+    Finding,
+    Project,
+    analyze_paths,
+)
 from repro.check.lint import (
     LintViolation,
     RULES,
@@ -32,22 +49,34 @@ from repro.check.lint import (
     render_json,
     render_text,
 )
+from repro.check.rules import ANALYZE_RULES, LINT_RULES, REGISTRY, RuleInfo, explain
 from repro.check.sanitize import (
     InvariantViolation,
     SanitizingCluster,
     Sanitizer,
     sanitize_from_env,
 )
+from repro.check.sarif import render_sarif
 
 __all__ = [
+    "ANALYZE_RULES",
+    "AnalyzerConfig",
+    "Finding",
     "InvariantViolation",
+    "LINT_RULES",
     "LintViolation",
+    "Project",
+    "REGISTRY",
     "RULES",
+    "RuleInfo",
     "SanitizingCluster",
     "Sanitizer",
+    "analyze_paths",
+    "explain",
     "lint_paths",
     "lint_source",
     "render_json",
+    "render_sarif",
     "render_text",
     "sanitize_from_env",
 ]

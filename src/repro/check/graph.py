@@ -1,0 +1,1845 @@
+"""Whole-program analyzer (``repro analyze``).
+
+Where :mod:`repro.check.lint` scans one file at a time, this module
+builds a project-wide view of the package and checks the cross-module
+invariants the three-process deployment (client → gateway → N worker
+daemons) actually rests on:
+
+Pass 1 — the program graph
+    Every ``.py`` file is parsed once into a :class:`ModuleInfo`; from
+    those the :class:`Project` derives a symbol table (every function,
+    method and class by dotted qualname), an import graph, per-class
+    attribute types (inferred from constructor calls and parameter
+    annotations), a subclass index, and a resolved call graph.  Method
+    calls resolve through inferred receiver types, and an inferred
+    interface type (e.g. ``Scheduler``) fans out to every subclass
+    override — which is how calls through the scheduler/baseline
+    registries resolve to the concrete implementations.
+
+Pass 2 — graph rule families
+    =======  ==========================================================
+    REP100   async-safety: blocking primitives (``time.sleep``, sync
+             socket/file/subprocess ops, ``Future.result()``) reachable
+             from any ``async def`` in ``service/``/``gateway/``,
+             transitively through the call graph.
+    REP101   protocol drift: ``VERBS`` in ``service/protocol.py`` vs.
+             the daemon/gateway dispatchers vs. every issuing site in
+             the client and CLI — unhandled, undeclared, unissued and
+             parameter-mismatched verbs all flag.
+    REP102   snapshot picklability: the type graph reachable from the
+             snapshot roots must not hold locks, sockets, open files,
+             generators, executors or contextvar tokens, unless the
+             owning class excludes the field in ``__getstate__`` /
+             ``__reduce__``.
+    REP103   determinism taint: wall-clock / ``os.urandom`` /
+             unseeded-RNG values must not flow — through assignments,
+             returns and calls — into digest computation, telemetry
+             records or trace-id derivation.
+    =======  ==========================================================
+
+Findings can be waived inline (``# repro-analyze: disable=REP100``) or
+recorded in a checked-in baseline file
+(:data:`BASELINE_FILENAME`, maintained with ``repro analyze
+--write-baseline``): baselined findings report but do not fail the
+build, new ones do.  Reporters: text, JSON and SARIF 2.1.0 (CI uploads
+the SARIF for inline annotations).
+
+Run as ``repro analyze [paths...]`` or ``python -m repro.check.graph``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.check.lint import iter_python_files
+from repro.check.rules import ANALYZE_RULES
+
+__all__ = [
+    "AnalyzerConfig",
+    "BASELINE_FILENAME",
+    "Finding",
+    "Project",
+    "analyze_paths",
+    "analyze_project",
+    "load_baseline",
+    "main",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]
+
+#: Default checked-in baseline-suppression file (repo root).
+BASELINE_FILENAME = ".repro-analyze-baseline.json"
+
+#: Format tag stamped into the baseline file.
+BASELINE_FORMAT = "repro.check.graph/baseline/1"
+
+_DISABLE_COMMENT = re.compile(r"#\s*repro-analyze:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnalyzerConfig:
+    """Where each rule family anchors, as dotted module-name suffixes.
+
+    Suffix matching keeps the config portable: scanning ``src`` names
+    modules ``repro.service.daemon`` while the test fixture package
+    names them ``analyze_pkg.service.daemon``; both match the suffix
+    ``service.daemon``.
+    """
+
+    #: Package path components whose ``async def``s are event-loop
+    #: coroutines (REP100 roots).
+    async_packages: tuple[str, ...] = ("service", "gateway")
+    #: Module (suffix) declaring the ``VERBS`` frozenset.
+    protocol_module: str = "service.protocol"
+    #: Modules (suffixes) dispatching verbs via ``request.op == "..."``.
+    handler_modules: tuple[str, ...] = ("service.daemon", "gateway.server")
+    #: Modules (suffixes) issuing verbs (``.call("...")`` /
+    #: ``{"op": "..."}`` request bodies).
+    issuer_modules: tuple[str, ...] = (
+        "service.client",
+        "gateway.server",
+        "gateway.loadgen",
+        "cli",
+    )
+    #: Class qualname suffixes whose instances are pickled whole for
+    #: crash-safe snapshots (REP102 roots).
+    snapshot_roots: tuple[str, ...] = (
+        "service.daemon.SchedulerService",
+        "sim.engine.SimulationEngine",
+        "faults.injector.FaultInjector",
+    )
+    #: Call names whose arguments are determinism-sensitive sinks
+    #: (trace-id derivation and telemetry records); hashlib digests are
+    #: recognized via import tracking on top of these.
+    taint_sink_calls: tuple[str, ...] = (
+        "derive_trace_id",
+        "derive_span_id",
+        "round_record",
+    )
+    #: Class names whose constructor arguments are taint sinks.
+    taint_sink_constructors: tuple[str, ...] = ("TraceContext",)
+    #: Method names that are taint sinks when called on an attribute
+    #: (``self.telemetry.emit(record)``) — resolved by receiver type
+    #: when known, by name otherwise.
+    taint_sink_methods: tuple[str, ...] = ("emit",)
+    #: Classes taint-sink methods must belong to when the receiver type
+    #: is resolvable (limits the by-name fallback).
+    taint_sink_method_classes: tuple[str, ...] = ("TelemetryExporter",)
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding.
+
+    ``fingerprint_key`` is a line-number-free stable key (rule-specific:
+    verb names, class.attr paths, call chains) so baselines survive
+    unrelated edits that shift lines.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    fingerprint_key: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable id used by the baseline file.
+
+        Keyed on the file *name* (not the full path) plus the
+        rule-specific key, so absolute and relative invocations of the
+        analyzer agree and baselines survive checkouts at different
+        roots; the key itself carries module-qualified context.
+        """
+        raw = f"{self.rule_id}|{Path(self.path).name}|{self.fingerprint_key}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (stable keys)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "name": ANALYZE_RULES[self.rule_id].name,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: program graph
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """Render a Name/Attribute chain as ``a.b.c`` (None when dynamic)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_name(node: Optional[ast.expr]) -> Optional[str]:
+    """The class name inside an annotation, unwrapping Optional/unions."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):  # Optional[X], list[X], ...
+        base = _dotted(node.value)
+        if base and base.split(".")[-1] in ("Optional", "Final", "ClassVar"):
+            return _annotation_name(node.slice)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):  # X | None
+        for side in (node.left, node.right):
+            name = _annotation_name(side)
+            if name is not None and name != "None":
+                return name
+        return None
+    dotted = _dotted(node)
+    if dotted in (None, "None"):
+        return None
+    return dotted.split(".")[-1]
+
+
+@dataclass
+class CallSite:
+    """One ``ast.Call`` inside a function body."""
+
+    target: str  # dotted textual callee, e.g. "self.engine.step"
+    node: ast.Call
+    awaited: bool
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project symbol table."""
+
+    qualname: str
+    module: "ModuleInfo"
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: Optional[str] = None
+    calls: list[CallSite] = field(default_factory=list)
+    #: local name -> class-name inferred from annotations/constructors.
+    local_types: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def display(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+
+@dataclass
+class AttrAssign:
+    """One ``self.x = <expr>`` site inside a class."""
+
+    attr: str
+    value: ast.expr
+    node: ast.stmt
+    function: FunctionInfo
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, bases, inferred attribute types."""
+
+    qualname: str
+    module: "ModuleInfo"
+    name: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_assigns: list[AttrAssign] = field(default_factory=list)
+    #: attr name -> class-name inferred from ``self.x = Cls(...)`` or
+    #: annotated parameters assigned to attributes.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: Attribute names the class's ``__getstate__``/``__reduce__``/
+    #: ``__setstate__`` mention (treated as handled for REP102).
+    pickle_excluded: set[str] = field(default_factory=set)
+    has_getstate: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module."""
+
+    name: str  # dotted, e.g. "repro.service.daemon"
+    path: Path
+    tree: ast.Module
+    source_lines: list[str]
+    #: local alias -> imported module ("np" -> "numpy").
+    imports: dict[str, str] = field(default_factory=dict)
+    #: local name -> "module.attr" for ``from x import y [as z]``.
+    from_imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    def suppressed(self, line: int) -> frozenset[str]:
+        """Rules waived on ``line`` via ``# repro-analyze: disable=``."""
+        if not 0 < line <= len(self.source_lines):
+            return frozenset()
+        match = _DISABLE_COMMENT.search(self.source_lines[line - 1])
+        if not match:
+            return frozenset()
+        return frozenset(
+            tok.strip().upper() for tok in match.group(1).split(",") if tok.strip()
+        )
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Collect call sites and local type hints inside one function body."""
+
+    def __init__(self, info: FunctionInfo) -> None:
+        self.info = info
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are indexed separately
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self._record_call(node.value, awaited=True)
+            for child in ast.iter_child_nodes(node.value):
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._record_call(node, awaited=False)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._infer_assign(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        name = _annotation_name(node.annotation)
+        if isinstance(node.target, ast.Name) and name:
+            self.info.local_types[node.target.id] = name
+        if node.value is not None:
+            self._infer_assign([node.target], node.value)
+        self.generic_visit(node)
+
+    def _record_call(self, node: ast.Call, awaited: bool) -> None:
+        target = _dotted(node.func)
+        if target is not None:
+            self.info.calls.append(CallSite(target=target, node=node, awaited=awaited))
+
+    def _infer_assign(self, targets: list[ast.expr], value: ast.expr) -> None:
+        type_name: Optional[str] = None
+        if isinstance(value, ast.Call):
+            dotted = _dotted(value.func)
+            if dotted:
+                type_name = dotted.split(".")[-1]
+        elif isinstance(value, ast.Name):
+            type_name = self.info.local_types.get(value.id)
+        if type_name is None:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.info.local_types[target.id] = type_name
+
+
+class Project:
+    """The whole-program symbol table, import graph and call graph."""
+
+    def __init__(self, config: Optional[AnalyzerConfig] = None) -> None:
+        self.config = config or AnalyzerConfig()
+        self.modules: dict[str, ModuleInfo] = {}
+        #: function qualname -> FunctionInfo (symbol table).
+        self.functions: dict[str, FunctionInfo] = {}
+        #: class qualname -> ClassInfo.
+        self.classes: dict[str, ClassInfo] = {}
+        #: bare class name -> [ClassInfo] (usually one).
+        self.class_by_name: dict[str, list[ClassInfo]] = {}
+        #: method name -> [FunctionInfo] across all classes (CHA table).
+        self.method_index: dict[str, list[FunctionInfo]] = {}
+        #: class name -> direct subclasses (by ClassInfo).
+        self.subclasses: dict[str, list[ClassInfo]] = {}
+        self.errors: list[Finding] = []
+
+    # -- loading -----------------------------------------------------------
+
+    @classmethod
+    def load(
+        cls, paths: Iterable[str | Path], config: Optional[AnalyzerConfig] = None
+    ) -> "Project":
+        """Parse every ``.py`` file under ``paths`` into one project."""
+        project = cls(config)
+        for file_path, module_name in _discover_modules(paths):
+            project._load_module(file_path, module_name)
+        project._index()
+        return project
+
+    def _load_module(self, path: Path, name: str) -> None:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError) as exc:
+            self.errors.append(
+                Finding(
+                    path=str(path),
+                    line=getattr(exc, "lineno", 1) or 1,
+                    col=0,
+                    rule_id="REP100",
+                    message=f"module failed to parse: {exc}",
+                    fingerprint_key=f"parse-error:{name}",
+                )
+            )
+            return
+        module = ModuleInfo(
+            name=name, path=path, tree=tree, source_lines=source.splitlines()
+        )
+        self._collect_imports(module)
+        self._collect_defs(module)
+        self.modules[name] = module
+
+    def _collect_imports(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    module.imports[bound] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    module.from_imports[bound] = f"{node.module}.{alias.name}"
+
+    def _collect_defs(self, module: ModuleInfo) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, class_info=None)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(module, node)
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        info = ClassInfo(qualname=qualname, module=module, name=node.name, node=node)
+        for base in node.bases:
+            dotted = _dotted(base)
+            if dotted:
+                info.bases.append(dotted.split(".")[-1])
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._add_function(module, item, class_info=info)
+                info.methods[item.name] = fn
+                if item.name in ("__getstate__", "__reduce__", "__reduce_ex__"):
+                    info.has_getstate = True
+                if item.name in (
+                    "__getstate__",
+                    "__setstate__",
+                    "__reduce__",
+                    "__reduce_ex__",
+                ):
+                    for sub in ast.walk(item):
+                        if isinstance(sub, ast.Constant) and isinstance(
+                            sub.value, str
+                        ):
+                            info.pickle_excluded.add(sub.value)
+        self._collect_attr_assigns(info)
+        module.classes[node.name] = info
+        self.classes[qualname] = info
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_info: Optional[ClassInfo],
+    ) -> FunctionInfo:
+        scope = f"{class_info.name}." if class_info else ""
+        info = FunctionInfo(
+            qualname=f"{module.name}.{scope}{node.name}",
+            module=module,
+            name=node.name,
+            node=node,
+            class_name=class_info.name if class_info else None,
+        )
+        # Parameter annotations seed local type inference.
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            ann = _annotation_name(arg.annotation)
+            if ann:
+                info.local_types[arg.arg] = ann
+        collector = _FunctionCollector(info)
+        for stmt in node.body:
+            collector.visit(stmt)
+        self.functions[info.qualname] = info
+        return info
+
+    def _collect_attr_assigns(self, info: ClassInfo) -> None:
+        for method in info.methods.values():
+            for stmt in ast.walk(method.node):
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                    targets = (
+                        stmt.targets
+                        if isinstance(stmt, ast.Assign)
+                        else [stmt.target]
+                    )
+                    value = stmt.value
+                    if value is None:
+                        continue
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            info.attr_assigns.append(
+                                AttrAssign(
+                                    attr=target.attr,
+                                    value=value,
+                                    node=stmt,
+                                    function=method,
+                                )
+                            )
+                            self._infer_attr_type(info, method, target.attr, value)
+
+    def _infer_attr_type(
+        self,
+        info: ClassInfo,
+        method: FunctionInfo,
+        attr: str,
+        value: ast.expr,
+    ) -> None:
+        if isinstance(value, ast.Call):
+            dotted = _dotted(value.func)
+            if dotted:
+                info.attr_types.setdefault(attr, dotted.split(".")[-1])
+        elif isinstance(value, ast.Name):
+            ann = method.local_types.get(value.id)
+            if ann:
+                info.attr_types.setdefault(attr, ann)
+        elif isinstance(value, (ast.IfExp, ast.BoolOp)):
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Call):
+                    dotted = _dotted(sub.func)
+                    if dotted:
+                        info.attr_types.setdefault(attr, dotted.split(".")[-1])
+                        break
+
+    def _index(self) -> None:
+        for cls in self.classes.values():
+            self.class_by_name.setdefault(cls.name, []).append(cls)
+            for name, method in cls.methods.items():
+                self.method_index.setdefault(name, []).append(method)
+        for cls in self.classes.values():
+            for base in cls.bases:
+                self.subclasses.setdefault(base, []).append(cls)
+
+    # -- lookups -----------------------------------------------------------
+
+    def modules_matching(self, suffix: str) -> list[ModuleInfo]:
+        """Modules whose dotted name equals or ends with ``.suffix``."""
+        return [
+            m
+            for name, m in sorted(self.modules.items())
+            if name == suffix or name.endswith("." + suffix)
+        ]
+
+    def class_matching(self, suffix: str) -> Optional[ClassInfo]:
+        """The class whose qualname equals or ends with ``.suffix``."""
+        for qualname, cls in sorted(self.classes.items()):
+            if qualname == suffix or qualname.endswith("." + suffix):
+                return cls
+        return None
+
+    def resolve_class(self, name: str, module: ModuleInfo) -> Optional[ClassInfo]:
+        """Resolve a bare class name as seen from ``module``."""
+        if name in module.classes:
+            return module.classes[name]
+        imported = module.from_imports.get(name)
+        if imported:
+            target = imported.split(".")[-1]
+            for cls in self.class_by_name.get(target, []):
+                return cls
+        for cls in self.class_by_name.get(name, []):
+            return cls
+        return None
+
+    def _class_and_subclass_methods(
+        self, cls: ClassInfo, method: str
+    ) -> list[FunctionInfo]:
+        """``cls``'s own/ inherited ``method`` plus every subclass override."""
+        out: list[FunctionInfo] = []
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if method in current.methods:
+                out.append(current.methods[method])
+            stack.extend(self.subclasses.get(current.name, []))
+        if not out:
+            # Inherited implementation: look up the base chain.
+            for base in cls.bases:
+                base_cls = self.resolve_class(base, cls.module)
+                if base_cls and base_cls.qualname not in seen:
+                    out.extend(self._class_and_subclass_methods(base_cls, method))
+        return out
+
+    def receiver_type(
+        self, chain: list[str], fn: FunctionInfo
+    ) -> Optional[ClassInfo]:
+        """Infer the class of ``chain`` (e.g. ``["self", "engine"]``)."""
+        if not chain:
+            return None
+        head, *rest = chain
+        current: Optional[ClassInfo]
+        if head in ("self", "cls") and fn.class_name:
+            current = self.resolve_class(fn.class_name, fn.module)
+        else:
+            type_name = fn.local_types.get(head)
+            current = (
+                self.resolve_class(type_name, fn.module) if type_name else None
+            )
+        for attr in rest:
+            if current is None:
+                return None
+            type_name = self._attr_type(current, attr)
+            current = (
+                self.resolve_class(type_name, current.module) if type_name else None
+            )
+        return current
+
+    def _attr_type(self, cls: ClassInfo, attr: str) -> Optional[str]:
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if attr in current.attr_types:
+                return current.attr_types[attr]
+            for base in current.bases:
+                base_cls = self.resolve_class(base, current.module)
+                if base_cls:
+                    stack.append(base_cls)
+        return None
+
+    def resolve_call(self, site: CallSite, fn: FunctionInfo) -> list[FunctionInfo]:
+        """Resolve one call site to project functions (possibly several).
+
+        Resolution order: local/imported plain functions, then methods
+        through the inferred receiver type (fanning out to subclass
+        overrides so registry-dispatched scheduler/baseline calls
+        resolve), then class constructors (``__init__``).  Unresolvable
+        dynamic calls return ``[]`` rather than guessing.
+        """
+        parts = site.target.split(".")
+        module = fn.module
+        if len(parts) == 1:
+            name = parts[0]
+            qual = f"{module.name}.{name}"
+            if qual in self.functions:
+                return [self.functions[qual]]
+            imported = self.from_imports_target(module, name)
+            if imported:
+                return imported
+            cls = self.resolve_class(name, module)
+            if cls and "__init__" in cls.methods:
+                return [cls.methods["__init__"]]
+            return []
+        *chain, method = parts
+        # ``mod.func()`` through a module import.
+        if len(chain) == 1 and chain[0] in module.imports:
+            imported_module = module.imports[chain[0]]
+            target = self.modules.get(imported_module)
+            if target is None:
+                for name, candidate in self.modules.items():
+                    if name == imported_module or name.endswith(
+                        "." + imported_module
+                    ):
+                        target = candidate
+                        break
+            if target is not None:
+                qual = f"{target.name}.{method}"
+                if qual in self.functions:
+                    return [self.functions[qual]]
+                cls = target.classes.get(method)
+                if cls and "__init__" in cls.methods:
+                    return [cls.methods["__init__"]]
+            return []
+        receiver = self.receiver_type(chain, fn)
+        if receiver is not None:
+            return self._class_and_subclass_methods(receiver, method)
+        # ``ClassName.method`` static reference.
+        if len(chain) == 1:
+            cls = self.resolve_class(chain[0], module)
+            if cls is not None:
+                return self._class_and_subclass_methods(cls, method)
+        return []
+
+    def from_imports_target(
+        self, module: ModuleInfo, name: str
+    ) -> list[FunctionInfo]:
+        """Resolve ``from x import name`` to the defining module's function."""
+        imported = module.from_imports.get(name)
+        if not imported:
+            return []
+        target_module, _, attr = imported.rpartition(".")
+        for mod_name, mod in self.modules.items():
+            if mod_name == target_module or mod_name.endswith("." + target_module):
+                qual = f"{mod_name}.{attr}"
+                if qual in self.functions:
+                    return [self.functions[qual]]
+                cls = mod.classes.get(attr)
+                if cls and "__init__" in cls.methods:
+                    return [cls.methods["__init__"]]
+        return []
+
+
+def _discover_modules(
+    paths: Iterable[str | Path],
+) -> Iterator[tuple[Path, str]]:
+    """Yield (file, dotted module name) pairs for every ``.py`` input.
+
+    A directory that is itself a package (``__init__.py``) anchors names
+    at its own name (``analyze_pkg.service.daemon``); a plain directory
+    anchors at its children (scanning ``src`` yields ``repro.*``).
+    """
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            base = root.parent if (root / "__init__.py").exists() else root
+            for file_path in iter_python_files([root]):
+                rel = file_path.relative_to(base)
+                parts = list(rel.with_suffix("").parts)
+                if parts[-1] == "__init__":
+                    parts = parts[:-1]
+                if not parts:
+                    continue
+                yield file_path, ".".join(parts)
+        elif root.suffix == ".py":
+            yield root, root.stem
+
+
+# ---------------------------------------------------------------------------
+# REP100: async-safety
+# ---------------------------------------------------------------------------
+
+#: Blocking module-level callables: dotted-name suffixes after import
+#: resolution (``time.sleep`` also matches ``from time import sleep``).
+_BLOCKING_MODULE_CALLS = {
+    "time.sleep": "time.sleep()",
+    "socket.socket": "socket.socket() construction",
+    "socket.create_connection": "socket.create_connection()",
+    "subprocess.run": "subprocess.run()",
+    "subprocess.call": "subprocess.call()",
+    "subprocess.check_call": "subprocess.check_call()",
+    "subprocess.check_output": "subprocess.check_output()",
+    "subprocess.Popen": "subprocess.Popen()",
+    "os.system": "os.system()",
+    "os.popen": "os.popen()",
+    "pickle.dump": "pickle.dump() on a file",
+    "pickle.load": "pickle.load() from a file",
+}
+
+#: Blocking bare builtins.
+_BLOCKING_BUILTINS = {"open": "open() file I/O"}
+
+#: Blocking terminal attributes (method calls), matched on the call name
+#: when the receiver type is unknown.  ``.result()``/``.wait()``/
+#: ``.join()`` are the synchronous rendezvous of futures, subprocesses,
+#: events and threads; awaited calls never match (the Await wrapper is
+#: tracked per call site).
+_BLOCKING_METHODS = {
+    "read_text": "Path.read_text() file I/O",
+    "write_text": "Path.write_text() file I/O",
+    "read_bytes": "Path.read_bytes() file I/O",
+    "write_bytes": "Path.write_bytes() file I/O",
+    "result": "Future.result() blocking wait",
+    "communicate": "Popen.communicate() blocking wait",
+}
+
+#: Methods treated as blocking only when the receiver is not a project
+#: class (project ``.wait()``/``.join()`` are usually domain methods).
+_BLOCKING_METHODS_CONSERVATIVE = {
+    "wait": "blocking wait()",
+    "join": "blocking join()",
+}
+
+
+def _blocking_primitive(site: CallSite, fn: FunctionInfo, project: Project) -> Optional[str]:
+    """Describe the blocking primitive at ``site`` (None when not one)."""
+    if site.awaited:
+        return None
+    target = site.target
+    parts = target.split(".")
+    module = fn.module
+    if len(parts) == 1:
+        name = parts[0]
+        if name in _BLOCKING_BUILTINS and name not in module.from_imports:
+            return _BLOCKING_BUILTINS[name]
+        imported = module.from_imports.get(name)
+        if imported in _BLOCKING_MODULE_CALLS:
+            return _BLOCKING_MODULE_CALLS[imported]
+        return None
+    head, tail = parts[0], parts[-1]
+    resolved_head = module.imports.get(head)
+    if resolved_head:
+        dotted = f"{resolved_head}.{tail}"
+        if dotted in _BLOCKING_MODULE_CALLS:
+            return _BLOCKING_MODULE_CALLS[dotted]
+    if tail == "open" and parts[-2].lower().endswith("path"):
+        return "Path.open() file I/O"
+    if tail in _BLOCKING_METHODS:
+        return _BLOCKING_METHODS[tail]
+    if tail in _BLOCKING_METHODS_CONSERVATIVE:
+        receiver = project.receiver_type(parts[:-1], fn)
+        if receiver is None and not project.resolve_call(site, fn):
+            return _BLOCKING_METHODS_CONSERVATIVE[tail]
+    return None
+
+
+def _check_async_safety(project: Project, config: AnalyzerConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    roots = [
+        fn
+        for fn in project.functions.values()
+        if fn.is_async
+        and any(pkg in fn.module.name.split(".") for pkg in config.async_packages)
+    ]
+    #: (blocking call site id, primitive) -> first chain that reached it.
+    reported: set[tuple[str, int, int]] = set()
+    for root in sorted(roots, key=lambda f: f.qualname):
+        stack: list[tuple[FunctionInfo, tuple[str, ...]]] = [
+            (root, (root.display,))
+        ]
+        visited: set[str] = set()
+        while stack:
+            fn, chain = stack.pop()
+            if fn.qualname in visited or len(chain) > 12:
+                continue
+            visited.add(fn.qualname)
+            for site in fn.calls:
+                primitive = _blocking_primitive(site, fn, project)
+                line = site.node.lineno
+                if primitive is not None:
+                    if {
+                        "REP100",
+                        "ALL",
+                    } & fn.module.suppressed(line):
+                        continue
+                    key = (str(fn.module.path), line, site.node.col_offset)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    via = " -> ".join(chain)
+                    findings.append(
+                        Finding(
+                            path=str(fn.module.path),
+                            line=line,
+                            col=site.node.col_offset,
+                            rule_id="REP100",
+                            message=(
+                                f"{primitive} on the event loop, reachable"
+                                f" from async {root.display}()"
+                                + (
+                                    f" via {via}"
+                                    if len(chain) > 1
+                                    else ""
+                                )
+                            ),
+                            fingerprint_key=(
+                                f"{primitive}|{fn.qualname}|{site.target}"
+                            ),
+                        )
+                    )
+                    continue
+                for callee in project.resolve_call(site, fn):
+                    if callee.qualname not in visited:
+                        stack.append((callee, chain + (callee.display,)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP101: protocol exhaustiveness / drift
+# ---------------------------------------------------------------------------
+
+
+def _declared_verbs(module: ModuleInfo) -> tuple[Optional[ast.AST], set[str]]:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "VERBS":
+                    verbs = {
+                        sub.value
+                        for sub in ast.walk(node.value)
+                        if isinstance(sub, ast.Constant)
+                        and isinstance(sub.value, str)
+                    }
+                    return node, verbs
+    return None, set()
+
+
+def _handled_verbs(module: ModuleInfo) -> dict[str, list[ast.Compare]]:
+    """Verbs dispatched via ``request.op == "..."`` / ``op == "..."``."""
+    handled: dict[str, list[ast.Compare]] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        if not isinstance(node.ops[0], (ast.Eq, ast.In)):
+            continue
+        left = node.left
+        left_name = (
+            left.attr
+            if isinstance(left, ast.Attribute)
+            else left.id
+            if isinstance(left, ast.Name)
+            else None
+        )
+        if left_name != "op":
+            continue
+        for sub in ast.walk(node.comparators[0]):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                handled.setdefault(sub.value, []).append(node)
+    return handled
+
+
+def _handler_params(module: ModuleInfo) -> dict[str, Optional[set[str]]]:
+    """Per-verb parameter names the dispatcher reads.
+
+    Walks each ``if request.op == "verb":`` branch for
+    ``params.get("name")`` / ``params["name"]`` reads.  A branch that
+    uses ``params`` wholesale (e.g. ``JobSpec.from_payload(params)``)
+    reads everything — recorded as ``None`` (wildcard).
+    """
+    out: dict[str, Optional[set[str]]] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+            continue
+        left = test.left
+        left_name = (
+            left.attr
+            if isinstance(left, ast.Attribute)
+            else left.id
+            if isinstance(left, ast.Name)
+            else None
+        )
+        if left_name != "op" or not isinstance(test.ops[0], ast.Eq):
+            continue
+        comparator = test.comparators[0]
+        if not (
+            isinstance(comparator, ast.Constant)
+            and isinstance(comparator.value, str)
+        ):
+            continue
+        verb = comparator.value
+        reads: set[str] = set()
+        wildcard = False
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "get"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "params"
+                    and sub.args
+                    and isinstance(sub.args[0], ast.Constant)
+                ):
+                    reads.add(str(sub.args[0].value))
+                    continue
+            if isinstance(sub, ast.Subscript) and (
+                isinstance(sub.value, ast.Name) and sub.value.id == "params"
+            ):
+                index = sub.slice
+                if isinstance(index, ast.Constant) and isinstance(index.value, str):
+                    reads.add(str(index.value))
+                continue
+            if isinstance(sub, ast.Name) and sub.id == "params":
+                parent_is_read = False  # bare ``params`` use → wildcard
+                del parent_is_read
+                wildcard = True
+        # ``params`` appearing only inside the reads above still trips the
+        # wildcard scan; narrow it: wildcard only when reads are empty.
+        previous = out.get(verb)
+        current: Optional[set[str]] = None if (wildcard and not reads) else reads
+        if previous is None and verb in out:
+            current = None
+        elif previous is not None and current is not None:
+            current = previous | current
+        out[verb] = current
+    return out
+
+
+#: Envelope keys every request may carry; never parameter drift.
+_ENVELOPE_KEYS = {"op", "id", "trace"}
+
+
+def _issued_verbs(
+    module: ModuleInfo,
+) -> dict[str, list[tuple[ast.Call | ast.Dict, set[str], bool]]]:
+    """Verbs issued by a module, with the parameter keys each site sends.
+
+    Two issue shapes: ``client.call("verb", k=v, ...)`` and request-body
+    dict literals ``{"op": "verb", ...}``.  A ``**kwargs`` splat makes
+    the parameter set open-ended (recorded via the bool flag).
+    """
+    issued: dict[str, list[tuple[ast.Call | ast.Dict, set[str], bool]]] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else None
+            )
+            if (
+                name == "call"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                verb = node.args[0].value
+                params = {
+                    kw.arg
+                    for kw in node.keywords
+                    if kw.arg is not None and not kw.arg.startswith("_")
+                }
+                dynamic = any(kw.arg is None for kw in node.keywords)
+                issued.setdefault(verb, []).append((node, params, dynamic))
+        elif isinstance(node, ast.Dict):
+            keys = [
+                k.value
+                for k in node.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            ]
+            if "op" not in keys:
+                continue
+            dynamic = any(k is None for k in node.keys)  # ``**spread``
+            verb = None
+            params: set[str] = set()
+            for key_node, value_node in zip(node.keys, node.values):
+                if not (
+                    isinstance(key_node, ast.Constant)
+                    and isinstance(key_node.value, str)
+                ):
+                    continue
+                if key_node.value == "op":
+                    if isinstance(value_node, ast.Constant) and isinstance(
+                        value_node.value, str
+                    ):
+                        verb = value_node.value
+                elif key_node.value not in _ENVELOPE_KEYS:
+                    params.add(key_node.value)
+            if verb is not None:
+                issued.setdefault(verb, []).append((node, params, dynamic))
+    return issued
+
+
+def _check_protocol(project: Project, config: AnalyzerConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    protocol_modules = project.modules_matching(config.protocol_module)
+    if not protocol_modules:
+        return findings
+    protocol = protocol_modules[0]
+    verbs_node, declared = _declared_verbs(protocol)
+    decl_line = getattr(verbs_node, "lineno", 1)
+
+    handler_modules = [
+        m
+        for suffix in config.handler_modules
+        for m in project.modules_matching(suffix)
+    ]
+    issuer_modules = [
+        m
+        for suffix in config.issuer_modules
+        for m in project.modules_matching(suffix)
+    ]
+    handled: dict[str, list[tuple[ModuleInfo, ast.Compare]]] = {}
+    handler_params: dict[str, Optional[set[str]]] = {}
+    for module in handler_modules:
+        for verb, nodes in _handled_verbs(module).items():
+            for node in nodes:
+                handled.setdefault(verb, []).append((module, node))
+        for verb, params in _handler_params(module).items():
+            if verb in handler_params:
+                prev = handler_params[verb]
+                handler_params[verb] = (
+                    None
+                    if prev is None or params is None
+                    else prev | params
+                )
+            else:
+                handler_params[verb] = params
+    issued: dict[str, list[tuple[ModuleInfo, ast.Call | ast.Dict, set[str], bool]]] = {}
+    for module in issuer_modules:
+        for verb, sites in _issued_verbs(module).items():
+            for node, params, dynamic in sites:
+                issued.setdefault(verb, []).append((module, node, params, dynamic))
+
+    def _suppressed(module: ModuleInfo, line: int) -> bool:
+        return bool({"REP101", "ALL"} & module.suppressed(line))
+
+    handler_names = ", ".join(m.name for m in handler_modules) or "<none>"
+    for verb in sorted(declared):
+        if verb not in handled:
+            if _suppressed(protocol, decl_line):
+                continue
+            findings.append(
+                Finding(
+                    path=str(protocol.path),
+                    line=decl_line,
+                    col=0,
+                    rule_id="REP101",
+                    message=(
+                        f"verb '{verb}' is declared in VERBS but handled by"
+                        f" no dispatcher ({handler_names})"
+                    ),
+                    fingerprint_key=f"unhandled:{verb}",
+                )
+            )
+        if verb not in issued:
+            if _suppressed(protocol, decl_line):
+                continue
+            findings.append(
+                Finding(
+                    path=str(protocol.path),
+                    line=decl_line,
+                    col=0,
+                    rule_id="REP101",
+                    message=(
+                        f"verb '{verb}' is declared in VERBS but never issued"
+                        " by any client/CLI/gateway site (dead verb)"
+                    ),
+                    fingerprint_key=f"unissued:{verb}",
+                )
+            )
+    for verb in sorted(handled):
+        if verb in declared:
+            continue
+        module, node = handled[verb][0]
+        if _suppressed(module, node.lineno):
+            continue
+        findings.append(
+            Finding(
+                path=str(module.path),
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id="REP101",
+                message=(
+                    f"verb '{verb}' is dispatched here but missing from"
+                    " VERBS in the protocol module — parse_request rejects"
+                    " it before this handler can run"
+                ),
+                fingerprint_key=f"undeclared-handler:{verb}",
+            )
+        )
+    for verb in sorted(issued):
+        sites = issued[verb]
+        if verb not in declared:
+            module, node, _, _ = sites[0]
+            if _suppressed(module, node.lineno):
+                continue
+            findings.append(
+                Finding(
+                    path=str(module.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id="REP101",
+                    message=(
+                        f"verb '{verb}' is issued here but not declared in"
+                        " VERBS — the server rejects it as an unknown op"
+                    ),
+                    fingerprint_key=f"undeclared-issuer:{verb}",
+                )
+            )
+            continue
+        reads = handler_params.get(verb, set())
+        if reads is None:  # wildcard: handler consumes params wholesale
+            continue
+        for module, node, params, dynamic in sites:
+            if dynamic:
+                continue
+            unread = sorted(params - reads - _ENVELOPE_KEYS)
+            if not unread:
+                continue
+            if _suppressed(module, node.lineno):
+                continue
+            findings.append(
+                Finding(
+                    path=str(module.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id="REP101",
+                    message=(
+                        f"verb '{verb}' is issued with parameter(s)"
+                        f" {unread} that no dispatcher reads"
+                        " (signature drift)"
+                    ),
+                    fingerprint_key=f"param-drift:{verb}:{','.join(unread)}",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP102: snapshot picklability
+# ---------------------------------------------------------------------------
+
+#: Constructor dotted-name suffixes that produce unpicklable values.
+_UNPICKLABLE_CALLS = {
+    "threading.Lock": "a threading.Lock",
+    "threading.RLock": "a threading.RLock",
+    "threading.Condition": "a threading.Condition",
+    "threading.Semaphore": "a threading.Semaphore",
+    "threading.Event": "a threading.Event",
+    "threading.Thread": "a threading.Thread",
+    "asyncio.Lock": "an asyncio.Lock",
+    "asyncio.Event": "an asyncio.Event",
+    "asyncio.Condition": "an asyncio.Condition",
+    "asyncio.Queue": "an asyncio.Queue",
+    "asyncio.get_event_loop": "an event loop",
+    "asyncio.get_running_loop": "an event loop",
+    "socket.socket": "a socket",
+    "socket.create_connection": "a socket",
+    "subprocess.Popen": "a subprocess handle",
+    "concurrent.futures.ThreadPoolExecutor": "an executor",
+    "concurrent.futures.ProcessPoolExecutor": "an executor",
+}
+
+#: Bare-name constructors (resolved through from-imports too).
+_UNPICKLABLE_BARE = {
+    "ThreadPoolExecutor": "an executor",
+    "ProcessPoolExecutor": "an executor",
+    "Lock": "a lock",
+    "RLock": "a lock",
+    "Thread": "a thread",
+    "Popen": "a subprocess handle",
+}
+
+#: Terminal attribute calls yielding unpicklable values.
+_UNPICKLABLE_METHODS = {
+    "open": "an open file handle",
+    "makefile": "a socket file object",
+    "create_task": "an asyncio Task",
+    "set": None,  # ContextVar.set() → Token; gated on receiver checks below
+}
+
+
+def _unpicklable_value(
+    value: ast.expr, method: FunctionInfo, project: Project
+) -> Optional[str]:
+    """Describe why ``value`` cannot pickle (None when it can/unknown)."""
+    if isinstance(value, ast.GeneratorExp):
+        return "a generator"
+    if isinstance(value, ast.Lambda):
+        return "a lambda (unpicklable by the pickle protocol)"
+    if not isinstance(value, ast.Call):
+        return None
+    dotted = _dotted(value.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    module = method.module
+    if len(parts) == 1:
+        name = parts[0]
+        imported = module.from_imports.get(name)
+        if imported:
+            for suffix, why in _UNPICKLABLE_CALLS.items():
+                if imported == suffix or imported.endswith("." + suffix):
+                    return why
+            bare = imported.split(".")[-1]
+            if bare in _UNPICKLABLE_BARE:
+                return _UNPICKLABLE_BARE[bare]
+        elif name in _UNPICKLABLE_BARE and name not in module.classes:
+            return _UNPICKLABLE_BARE[name]
+        if name == "open":
+            return "an open file handle"
+        if name == "iter":
+            return "an iterator"
+        return None
+    head, tail = parts[0], parts[-1]
+    resolved_head = module.imports.get(head)
+    if resolved_head:
+        candidate = f"{resolved_head}.{'.'.join(parts[1:])}"
+        for suffix, why in _UNPICKLABLE_CALLS.items():
+            if candidate == suffix or candidate.endswith("." + suffix):
+                return why
+    if tail in ("open", "makefile", "create_task"):
+        why = _UNPICKLABLE_METHODS[tail]
+        if why:
+            return why
+    if tail == "set":
+        # ``contextvar.set(...)`` returns a Token; only flag when the
+        # receiver resolves to a ContextVar.
+        receiver = ".".join(parts[:-1])
+        for name, target in method.module.from_imports.items():
+            if receiver.endswith(name) and target.endswith("ContextVar"):
+                return "a contextvars Token"
+        type_name = method.local_types.get(parts[0])
+        if type_name == "ContextVar" or (
+            len(parts) >= 2 and method.local_types.get(parts[-2]) == "ContextVar"
+        ):
+            return "a contextvars Token"
+    return None
+
+
+def _check_picklability(project: Project, config: AnalyzerConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    roots = [
+        cls
+        for suffix in config.snapshot_roots
+        if (cls := project.class_matching(suffix)) is not None
+    ]
+    queue = list(roots)
+    visited: set[str] = set()
+    while queue:
+        cls = queue.pop(0)
+        if cls.qualname in visited:
+            continue
+        visited.add(cls.qualname)
+        for assign in cls.attr_assigns:
+            if assign.attr in cls.pickle_excluded:
+                continue
+            line = assign.node.lineno
+            if {"REP102", "ALL"} & cls.module.suppressed(line):
+                continue
+            why = _unpicklable_value(assign.value, assign.function, project)
+            if why is not None:
+                findings.append(
+                    Finding(
+                        path=str(cls.module.path),
+                        line=line,
+                        col=assign.node.col_offset,
+                        rule_id="REP102",
+                        message=(
+                            f"snapshot-reachable field {cls.name}."
+                            f"{assign.attr} holds {why}; exclude it in"
+                            " __getstate__/__reduce__ or drop the field"
+                        ),
+                        fingerprint_key=f"{cls.name}.{assign.attr}:{why}",
+                    )
+                )
+                continue
+            # Recurse into project classes held by this field.
+            type_name = cls.attr_types.get(assign.attr)
+            if type_name:
+                held = project.resolve_class(type_name, cls.module)
+                if held is not None and held.qualname not in visited:
+                    queue.append(held)
+                if held is not None:
+                    for sub in project.subclasses.get(held.name, []):
+                        if sub.qualname not in visited:
+                            queue.append(sub)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# REP103: determinism taint
+# ---------------------------------------------------------------------------
+
+#: Entropy/wall-clock source callables (dotted suffixes after import
+#: resolution).
+_TAINT_SOURCES = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "time.monotonic": "time.monotonic()",
+    "time.monotonic_ns": "time.monotonic_ns()",
+    "time.perf_counter": "time.perf_counter()",
+    "time.perf_counter_ns": "time.perf_counter_ns()",
+    "os.urandom": "os.urandom()",
+    "uuid.uuid1": "uuid.uuid1()",
+    "uuid.uuid4": "uuid.uuid4()",
+    "secrets.token_hex": "secrets.token_hex()",
+    "secrets.token_bytes": "secrets.token_bytes()",
+    "secrets.token_urlsafe": "secrets.token_urlsafe()",
+    "random.random": "global random.random()",
+    "random.randint": "global random.randint()",
+    "random.randrange": "global random.randrange()",
+    "random.getrandbits": "global random.getrandbits()",
+    "random.randbytes": "global random.randbytes()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+}
+
+#: Hash constructors whose ``update``/constructor args are digest sinks.
+_HASH_CONSTRUCTORS = {"sha256", "sha1", "md5", "blake2b", "blake2s", "new"}
+
+
+def _source_taint(site: CallSite, fn: FunctionInfo) -> Optional[str]:
+    """Describe the entropy source at ``site`` (None when clean)."""
+    target = site.target
+    parts = target.split(".")
+    module = fn.module
+    if len(parts) == 1:
+        imported = module.from_imports.get(parts[0])
+        if imported and imported in _TAINT_SOURCES:
+            return _TAINT_SOURCES[imported]
+        return None
+    resolved_head = module.imports.get(parts[0])
+    if resolved_head:
+        candidate = f"{resolved_head}.{'.'.join(parts[1:])}"
+        if candidate in _TAINT_SOURCES:
+            return _TAINT_SOURCES[candidate]
+    if target in _TAINT_SOURCES:
+        return _TAINT_SOURCES[target]
+    # ``datetime.now()`` through ``from datetime import datetime``.
+    if parts[-1] in ("now", "utcnow", "today"):
+        head = parts[0]
+        if module.from_imports.get(head, "").startswith("datetime."):
+            return f"{head}.{parts[-1]}()"
+    return None
+
+
+class _TaintScan(ast.NodeVisitor):
+    """Intra-procedural taint propagation for one function body."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        project: Project,
+        tainted_returns: dict[str, str],
+        tainted_params: dict[str, dict[str, str]],
+    ) -> None:
+        self.fn = fn
+        self.project = project
+        self.tainted_returns = tainted_returns
+        self.tainted_params = tainted_params
+        #: local name -> source description.
+        self.tainted: dict[str, str] = dict(
+            tainted_params.get(fn.qualname, {})
+        )
+        self.hash_objects: set[str] = set()
+        self.return_taint: Optional[str] = None
+
+    # -- expression taint --------------------------------------------------
+
+    def expr_taint(self, node: ast.expr) -> Optional[str]:
+        """The source description if ``node`` carries taint."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in self.tainted:
+                return self.tainted[sub.id]
+            if isinstance(sub, ast.Call):
+                target = _dotted(sub.func)
+                if target is None:
+                    continue
+                site = CallSite(target=target, node=sub, awaited=False)
+                source = _source_taint(site, self.fn)
+                if source:
+                    return source
+                for callee in self.project.resolve_call(site, self.fn):
+                    if callee.qualname in self.tainted_returns:
+                        return self.tainted_returns[callee.qualname]
+        return None
+
+    # -- statements --------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._track_hash(node)
+        taint = self.expr_taint(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if taint:
+                    self.tainted[target.id] = taint
+                else:
+                    self.tainted.pop(target.id, None)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        taint = self.expr_taint(node.value)
+        if taint and isinstance(node.target, ast.Name):
+            self.tainted[node.target.id] = taint
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and isinstance(node.target, ast.Name):
+            taint = self.expr_taint(node.value)
+            if taint:
+                self.tainted[node.target.id] = taint
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None and self.return_taint is None:
+            self.return_taint = self.expr_taint(node.value)
+        self.generic_visit(node)
+
+    def _track_hash(self, node: ast.Assign) -> None:
+        if not isinstance(node.value, ast.Call):
+            return
+        dotted = _dotted(node.value.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        module = self.fn.module
+        is_hash = False
+        if len(parts) >= 2 and module.imports.get(parts[0]) == "hashlib":
+            is_hash = parts[-1] in _HASH_CONSTRUCTORS
+        elif len(parts) == 1:
+            imported = module.from_imports.get(parts[0], "")
+            is_hash = imported.startswith("hashlib.")
+        if is_hash:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.hash_objects.add(target.id)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs analyzed on their own
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+def _sink_description(
+    site: CallSite, fn: FunctionInfo, scan: _TaintScan, config: AnalyzerConfig
+) -> Optional[str]:
+    """Describe the determinism sink at ``site`` (None when not a sink)."""
+    parts = site.target.split(".")
+    tail = parts[-1]
+    module = fn.module
+    if len(parts) == 1:
+        if tail in config.taint_sink_calls:
+            return f"{tail}()"
+        if tail in config.taint_sink_constructors:
+            return f"{tail}(...) trace context"
+        imported = module.from_imports.get(tail, "")
+        if imported.startswith("hashlib."):
+            return f"digest {tail}()"
+        return None
+    if tail in config.taint_sink_calls:
+        return f"{tail}()"
+    if module.imports.get(parts[0]) == "hashlib" and tail in _HASH_CONSTRUCTORS:
+        return f"digest hashlib.{tail}()"
+    if tail == "update" and parts[0] in scan.hash_objects and len(parts) == 2:
+        return f"digest {parts[0]}.update()"
+    if tail in config.taint_sink_methods:
+        receiver = fn.module and None
+        del receiver
+        recv = None
+        if len(parts) > 1:
+            recv = _receiver_class_name(parts[:-1], fn, scan)
+        if recv is None or recv in config.taint_sink_method_classes:
+            return f"telemetry {site.target}()"
+    return None
+
+
+def _receiver_class_name(
+    chain: list[str], fn: FunctionInfo, scan: _TaintScan
+) -> Optional[str]:
+    project = scan.project
+    cls = project.receiver_type(chain, fn)
+    return cls.name if cls is not None else None
+
+
+def _check_taint(project: Project, config: AnalyzerConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    #: function qualname -> source description for tainted returns.
+    tainted_returns: dict[str, str] = {}
+    tainted_params: dict[str, dict[str, str]] = {}
+
+    # Fixpoint: propagate tainted returns and tainted arguments through
+    # the call graph until stable (bounded by function count).
+    for _ in range(len(project.functions) + 1):
+        changed = False
+        for fn in project.functions.values():
+            scan = _TaintScan(fn, project, tainted_returns, tainted_params)
+            for stmt in fn.node.body:
+                scan.visit(stmt)
+            if scan.return_taint and fn.qualname not in tainted_returns:
+                tainted_returns[fn.qualname] = scan.return_taint
+                changed = True
+            # Taint callee parameters fed by tainted arguments.
+            for site in fn.calls:
+                callees = project.resolve_call(site, fn)
+                if not callees:
+                    continue
+                for index, arg in enumerate(site.node.args):
+                    taint = scan.expr_taint(arg)
+                    if not taint:
+                        continue
+                    for callee in callees:
+                        params = [
+                            a.arg
+                            for a in callee.node.args.args
+                            if a.arg not in ("self", "cls")
+                        ]
+                        if index < len(params):
+                            bucket = tainted_params.setdefault(
+                                callee.qualname, {}
+                            )
+                            if params[index] not in bucket:
+                                bucket[params[index]] = taint
+                                changed = True
+                for kw in site.node.keywords:
+                    if kw.arg is None:
+                        continue
+                    taint = scan.expr_taint(kw.value)
+                    if not taint:
+                        continue
+                    for callee in callees:
+                        bucket = tainted_params.setdefault(callee.qualname, {})
+                        if kw.arg not in bucket:
+                            bucket[kw.arg] = taint
+                            changed = True
+        if not changed:
+            break
+
+    for fn in sorted(project.functions.values(), key=lambda f: f.qualname):
+        scan = _TaintScan(fn, project, tainted_returns, tainted_params)
+        # Re-run statement order so hash objects/locals are in scope.
+        tainted_sites: list[tuple[CallSite, str, str]] = []
+
+        class _SinkVisitor(ast.NodeVisitor):
+            def visit_Call(self, node: ast.Call) -> None:  # noqa: N802
+                target = _dotted(node.func)
+                if target is not None:
+                    site = CallSite(target=target, node=node, awaited=False)
+                    sink = _sink_description(site, fn, scan, config)
+                    if sink is not None:
+                        for arg in [*node.args, *[k.value for k in node.keywords]]:
+                            taint = scan.expr_taint(arg)
+                            if taint:
+                                tainted_sites.append((site, sink, taint))
+                                break
+                self.generic_visit(node)
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:  # noqa: N802
+                pass
+
+            visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+        sink_visitor = _SinkVisitor()
+        for stmt in fn.node.body:
+            scan.visit(stmt)  # populate locals/hash objects in order
+            sink_visitor.visit(stmt)
+        for site, sink, taint in tainted_sites:
+            line = site.node.lineno
+            if {"REP103", "ALL"} & fn.module.suppressed(line):
+                continue
+            findings.append(
+                Finding(
+                    path=str(fn.module.path),
+                    line=line,
+                    col=site.node.col_offset,
+                    rule_id="REP103",
+                    message=(
+                        f"non-deterministic value from {taint} flows into"
+                        f" {sink} in {fn.display}() — digests, telemetry"
+                        " and trace ids must be pure functions of the seed"
+                    ),
+                    fingerprint_key=f"{fn.qualname}|{taint}|{sink}",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def analyze_project(project: Project) -> list[Finding]:
+    """Run every rule family over a loaded project."""
+    config = project.config
+    findings = list(project.errors)
+    findings.extend(_check_async_safety(project, config))
+    findings.extend(_check_protocol(project, config))
+    findings.extend(_check_picklability(project, config))
+    findings.extend(_check_taint(project, config))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))
+
+
+def analyze_paths(
+    paths: Iterable[str | Path], config: Optional[AnalyzerConfig] = None
+) -> list[Finding]:
+    """Load and analyze every ``.py`` file under ``paths``."""
+    return analyze_project(Project.load(paths, config))
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """The set of baselined fingerprints (empty when the file is absent)."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return set()
+    try:
+        doc = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return set()
+    entries = doc.get("findings", []) if isinstance(doc, dict) else []
+    return {
+        str(entry["fingerprint"])
+        for entry in entries
+        if isinstance(entry, dict) and "fingerprint" in entry
+    }
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> int:
+    """Record every finding as accepted; returns the entry count."""
+    doc = {
+        "format": BASELINE_FORMAT,
+        "comment": (
+            "Accepted pre-existing `repro analyze` findings. New findings"
+            " fail CI; regenerate with `repro analyze --write-baseline`"
+            " only after triaging every new entry."
+        ),
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule_id,
+                "path": f.path,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return len(findings)
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (new, baselined)."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint in baseline else new).append(finding)
+    return new, old
+
+
+# -- reporters --------------------------------------------------------------
+
+
+def render_text(
+    findings: Sequence[Finding], baselined: Sequence[Finding] = ()
+) -> str:
+    """GCC-style one-line-per-finding report."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule_id}"
+        f" [{ANALYZE_RULES[f.rule_id].name}] {f.message}"
+        for f in findings
+    ]
+    lines.append(
+        f"{len(findings)} new finding(s), {len(baselined)} baselined"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], baselined: Sequence[Finding] = ()
+) -> str:
+    """Machine-readable report (used by the CI gate)."""
+    return json.dumps(
+        {
+            "findings": [f.as_dict() for f in findings],
+            "baselined": [f.as_dict() for f in baselined],
+            "count": len(findings),
+            "baselined_count": len(baselined),
+        },
+        indent=2,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point shared by ``repro analyze`` and ``python -m repro.check.graph``."""
+    import argparse
+
+    from repro.check.rules import explain
+    from repro.check.sarif import render_sarif
+
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="whole-program analyzer: async-safety, protocol drift,"
+        " snapshot picklability, determinism taint",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=BASELINE_FILENAME,
+        help=f"baseline-suppression file (default {BASELINE_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file (report every finding as new)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept every current finding into the baseline file and exit 0",
+    )
+    parser.add_argument("--out", default=None, help="write the report here")
+    parser.add_argument(
+        "--explain",
+        metavar="REPxxx",
+        default=None,
+        help="print one rule's rationale/scope/disable syntax and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.explain:
+        print(explain(args.explain))  # repro-lint: disable=REP006
+        return 0
+    findings = analyze_paths(args.paths or ["src"])
+    if args.write_baseline:
+        count = write_baseline(args.baseline, findings)
+        print(  # repro-lint: disable=REP006
+            f"wrote {count} finding(s) to {args.baseline}"
+        )
+        return 0
+    baseline = set() if args.no_baseline else load_baseline(args.baseline)
+    new, old = split_by_baseline(findings, baseline)
+    if args.format == "sarif":
+        report = render_sarif(new, baselined=old)
+    elif args.format == "json":
+        report = render_json(new, baselined=old)
+    else:
+        report = render_text(new, baselined=old)
+    if args.out:
+        Path(args.out).write_text(report + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")  # repro-lint: disable=REP006
+    else:
+        print(report)  # repro-lint: disable=REP006
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(main())

@@ -19,8 +19,11 @@ REP002   module-level RNG draws (``random.random()``,           core, sim,
 REP003   mutable default arguments                              all of ``src/``
 REP004   bare ``except:``                                       all of ``src/``
 REP005   float ``==``/``!=`` on priority/score values           all of ``src/``
-REP006   ``print()`` in library code (route through             all but ``cli.py``
-         :mod:`repro.obs`)                                      / ``__main__.py``
+REP006   ``print()`` in library code (route through             all but entry
+         :mod:`repro.obs`)                                      points (``cli.py``,
+                                                                ``__main__.py``,
+                                                                ``examples/``,
+                                                                ``benchmarks/``)
 REP007   non-deterministic ID sources (``uuid.*``,              obs, service,
          ``os.urandom``, ``secrets.*``) -- trace/span ids       gateway
          must derive via :mod:`repro.obs.tracectx`
@@ -47,10 +50,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro.check.rules import LINT_RULES, RuleInfo
+
 __all__ = [
     "RULES",
     "FileScope",
     "LintViolation",
+    "Rule",
     "lint_file",
     "lint_paths",
     "lint_source",
@@ -60,50 +66,12 @@ __all__ = [
     "scope_for_path",
 ]
 
+#: Backwards-compatible alias; the catalogue now lives in
+#: :mod:`repro.check.rules` so ``--explain`` and the docs share one source.
+Rule = RuleInfo
 
-@dataclass(frozen=True)
-class Rule:
-    """One lint rule: stable id, short name, human summary."""
-
-    rule_id: str
-    name: str
-    summary: str
-
-
-#: The rule catalogue (DESIGN.md section 9 documents each in detail).
-RULES: dict[str, Rule] = {
-    rule.rule_id: rule
-    for rule in (
-        Rule("REP000", "syntax-error", "file does not parse"),
-        Rule(
-            "REP001",
-            "wall-clock",
-            "wall-clock read in simulated code; use the simulation clock",
-        ),
-        Rule(
-            "REP002",
-            "global-rng",
-            "global RNG draw in simulated code; use an injected random.Random",
-        ),
-        Rule("REP003", "mutable-default", "mutable default argument"),
-        Rule("REP004", "bare-except", "bare except: hides real failures"),
-        Rule(
-            "REP005",
-            "float-priority-eq",
-            "float ==/!= on a priority/score value; compare with a tolerance",
-        ),
-        Rule(
-            "REP006",
-            "print-in-library",
-            "print() in library code; route output through repro.obs",
-        ),
-        Rule(
-            "REP007",
-            "nondeterministic-id",
-            "non-deterministic ID source; derive ids via repro.obs.tracectx",
-        ),
-    )
-}
+#: The lint rule catalogue (REP000–REP007), filtered from the registry.
+RULES: dict[str, RuleInfo] = LINT_RULES
 
 #: Subpackages of ``repro`` whose code runs under the simulation clock.
 CLOCKED_PACKAGES = frozenset({"core", "sim", "workload", "learncurve"})
@@ -114,6 +82,11 @@ TRACED_PACKAGES = frozenset({"obs", "service", "gateway"})
 
 #: Top-level modules allowed to print (user-facing entry points).
 ENTRYPOINT_MODULES = frozenset({"cli.py", "__main__.py"})
+
+#: Repo directories holding runnable scripts: like ``cli.py``, their UI
+#: *is* stdout and they run in real (wall-clock) time, so the library
+#: and simulation-scoped rules do not apply.
+ENTRYPOINT_DIRS = frozenset({"examples", "benchmarks"})
 
 #: ``random`` module functions that draw from (or reseed) the global RNG.
 _RANDOM_FUNCS = frozenset(
@@ -172,6 +145,10 @@ class FileScope:
 #: Scope for files outside the repo package: everything applies.
 FULL_SCOPE = FileScope(clocked=True, library=True, traced=True)
 
+#: Scope for entry-point scripts (examples/, benchmarks/): hygiene rules
+#: only — they print to stdout and run in real time by design.
+SCRIPT_SCOPE = FileScope(clocked=False, library=False, traced=False)
+
 
 @dataclass(frozen=True)
 class LintViolation:
@@ -205,6 +182,8 @@ def scope_for_path(path: Path) -> FileScope:
     """
     parts = path.resolve().parts
     if "repro" not in parts:
+        if ENTRYPOINT_DIRS & set(parts):
+            return SCRIPT_SCOPE
         return FULL_SCOPE
     rel = parts[len(parts) - 1 - parts[::-1].index("repro") + 1 :]
     if not rel:  # the package directory itself
@@ -533,10 +512,20 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
     return sorted(out)
 
 
-def lint_paths(paths: Iterable[str | Path]) -> list[LintViolation]:
-    """Lint every ``.py`` file under the given files/directories."""
+def lint_paths(
+    paths: Iterable[str | Path], exclude: Sequence[str] = ()
+) -> list[LintViolation]:
+    """Lint every ``.py`` file under the given files/directories.
+
+    ``exclude`` drops files whose POSIX path contains any fragment
+    (e.g. ``("tests/fixtures",)`` skips the intentionally-violating
+    fixture catalogues).
+    """
     violations: list[LintViolation] = []
     for file_path in iter_python_files(paths):
+        posix = file_path.as_posix()
+        if any(fragment and fragment in posix for fragment in exclude):
+            continue
         violations.extend(lint_file(file_path))
     return violations
 
@@ -566,13 +555,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point shared by ``repro lint`` and ``python -m repro.check.lint``."""
     import argparse
 
+    from repro.check.rules import explain
+
     parser = argparse.ArgumentParser(
         prog="repro lint", description="repo-specific determinism/hygiene lint"
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
     parser.add_argument("--format", choices=["text", "json"], default="text")
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="REPxxx,...",
+        help="comma-separated rule ids to enforce (default: all)",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="FRAGMENT",
+        help="skip files whose path contains FRAGMENT (repeatable,"
+        " comma-separable)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="REPxxx",
+        default=None,
+        help="print one rule's rationale/scope/disable syntax and exit",
+    )
     args = parser.parse_args(argv)
-    violations = lint_paths(args.paths or ["src"])
+    if args.explain:
+        print(explain(args.explain))  # repro-lint: disable=REP006
+        return 0
+    exclude = [
+        fragment.strip()
+        for entry in args.exclude
+        for fragment in entry.split(",")
+        if fragment.strip()
+    ]
+    violations = lint_paths(args.paths or ["src"], exclude=exclude)
+    if args.select:
+        selected = {
+            tok.strip().upper() for tok in args.select.split(",") if tok.strip()
+        }
+        unknown = selected - set(RULES)
+        if unknown:
+            parser.error(f"unknown rule id(s) in --select: {sorted(unknown)}")
+        violations = [v for v in violations if v.rule_id in selected]
     renderer = render_json if args.format == "json" else render_text
     print(renderer(violations))  # repro-lint: disable=REP006
     return 1 if violations else 0

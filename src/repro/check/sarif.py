@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 reporter for ``repro analyze``.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+interchange schema GitHub code scanning ingests: CI runs
+``repro analyze src --format sarif`` and uploads the log with
+``github/codeql-action/upload-sarif``, which turns each result into an
+inline annotation on the offending line of the pull request.
+
+The emitted log carries one run with the full rule catalogue (from
+:mod:`repro.check.rules`, so help text matches ``--explain``), one
+``result`` per finding, and ``partialFingerprints`` keyed by the same
+stable fingerprint the baseline file uses — GitHub then tracks a
+finding's identity across pushes the same way the local gate does.
+Baselined findings are included with ``suppressions`` so they render
+as dismissed rather than new.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Sequence
+
+from repro.check.rules import ANALYZE_RULES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.check.graph import Finding
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif", "sarif_log"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Tool metadata stamped into every run.
+_TOOL_NAME = "repro-analyze"
+_TOOL_URI = "https://github.com/repro/repro"
+
+
+def _rule_descriptor(rule_id: str) -> dict[str, object]:
+    info = ANALYZE_RULES[rule_id]
+    return {
+        "id": rule_id,
+        "name": info.name,
+        "shortDescription": {"text": info.summary},
+        "fullDescription": {"text": info.rationale},
+        "help": {
+            "text": (
+                f"{info.rationale}\n\nScope: {info.scope}\n"
+                f"Disable: {info.disable}"
+            )
+        },
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: "Finding", suppressed: bool) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col + 1, 1),
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproAnalyzeFingerprint/v1": finding.fingerprint
+        },
+    }
+    if suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "accepted in .repro-analyze-baseline.json",
+            }
+        ]
+    return result
+
+
+def sarif_log(
+    findings: Sequence["Finding"], baselined: Sequence["Finding"] = ()
+) -> dict[str, object]:
+    """Build the SARIF log object (new findings plus suppressed baseline)."""
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "version": "1.0.0",
+                        "rules": [
+                            _rule_descriptor(rid) for rid in sorted(ANALYZE_RULES)
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [
+                    *(_result(f, suppressed=False) for f in findings),
+                    *(_result(f, suppressed=True) for f in baselined),
+                ],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence["Finding"], baselined: Sequence["Finding"] = ()
+) -> str:
+    """Serialize the SARIF log as indented JSON."""
+    return json.dumps(sarif_log(findings, baselined), indent=2)

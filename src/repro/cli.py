@@ -17,6 +17,8 @@ Commands
              directory) as summary tables.
 ``sweep``    Run a (possibly parallel) experiment sweep via ``repro.api``.
 ``lint``     Run the repo-specific determinism/hygiene lint.
+``analyze``  Run the whole-program analyzer (async-safety, protocol
+             drift, snapshot picklability, determinism taint).
 ``typecheck`` Run the strict-typing gate (mypy or the AST fallback).
 
 Examples
@@ -43,6 +45,11 @@ Examples
         --jobs 60 --workers 2 --out sweep.json
     python -m repro sweep --grid grid.json --workers 4 --cache-dir .sweep-cache
     python -m repro lint src --format json
+    python -m repro lint tests --select REP003,REP004,REP006 \
+        --exclude tests/fixtures
+    python -m repro lint --explain REP006
+    python -m repro analyze src --format sarif --out analyze.sarif
+    python -m repro analyze --explain REP100
     python -m repro typecheck
 """
 
@@ -417,6 +424,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("paths", nargs="*", default=["src"])
     p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.add_argument(
+        "--select",
+        default=None,
+        metavar="REPxxx,...",
+        help="comma-separated rule ids to enforce (default: all)",
+    )
+    p_lint.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="FRAGMENT",
+        help="skip files whose path contains FRAGMENT (repeatable)",
+    )
+    p_lint.add_argument(
+        "--explain",
+        metavar="REPxxx",
+        default=None,
+        help="print one rule's rationale/scope/disable syntax and exit",
+    )
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="whole-program analyzer: async-safety, protocol drift,"
+        " snapshot picklability, determinism taint (repro.check.graph)",
+    )
+    p_analyze.add_argument("paths", nargs="*", default=["src"])
+    p_analyze.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
+    p_analyze.add_argument("--baseline", default=None)
+    p_analyze.add_argument("--no-baseline", action="store_true")
+    p_analyze.add_argument("--write-baseline", action="store_true")
+    p_analyze.add_argument("--out", default=None)
+    p_analyze.add_argument(
+        "--explain",
+        metavar="REPxxx",
+        default=None,
+        help="print one rule's rationale/scope/disable syntax and exit",
+    )
 
     p_type = sub.add_parser(
         "typecheck", help="strict-typing gate (mypy, or the AST annotation fallback)"
@@ -892,7 +938,32 @@ def cmd_lint(args) -> int:
     """Run the repo-specific lint over the given paths."""
     from repro.check import lint
 
-    return lint.main([*args.paths, "--format", args.format])
+    argv = [*args.paths, "--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    for fragment in args.exclude:
+        argv += ["--exclude", fragment]
+    if args.explain:
+        argv += ["--explain", args.explain]
+    return lint.main(argv)
+
+
+def cmd_analyze(args) -> int:
+    """Run the whole-program analyzer over the given paths."""
+    from repro.check import graph
+
+    argv = [*args.paths, "--format", args.format]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.out:
+        argv += ["--out", args.out]
+    if args.explain:
+        argv += ["--explain", args.explain]
+    return graph.main(argv)
 
 
 def cmd_typecheck(args) -> int:
@@ -921,6 +992,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": cmd_report,
         "sweep": cmd_sweep,
         "lint": cmd_lint,
+        "analyze": cmd_analyze,
         "typecheck": cmd_typecheck,
     }
     return handlers[args.command](args)

@@ -566,11 +566,20 @@ class SchedulerDaemon:
         if self._client_tasks:
             await asyncio.gather(*self._client_tasks, return_exceptions=True)
             self._client_tasks.clear()
+        # The final snapshot pickles the whole core and close() flushes
+        # telemetry/trace files — seconds of disk I/O on a large run.
+        # Off-loop so a supervising gateway's health polls (and any
+        # sibling daemons sharing the loop in thread mode) never stall
+        # behind this daemon's shutdown.
+        await asyncio.to_thread(self._flush_core)
+        with contextlib.suppress(FileNotFoundError):
+            Path(self.core.config.socket_path).unlink()
+
+    def _flush_core(self) -> None:
+        """Final snapshot + handle teardown (runs off the event loop)."""
         if self.core.snapshots is not None:
             self.core.snapshot_now()
         self.core.close()
-        with contextlib.suppress(FileNotFoundError):
-            Path(self.core.config.socket_path).unlink()
 
     async def _round_loop(self) -> None:
         while not self._stop.is_set():
@@ -749,7 +758,11 @@ async def serve(config: Optional[ServiceConfig] = None, restore: bool = False) -
     if restore:
         if not config.snapshot_dir:
             raise SystemExit("--restore requires --snapshot-dir")
-        core = SchedulerService.restore(config.snapshot_dir)
+        # Unpickling a large snapshot blocks for seconds; keep it off
+        # the loop so signal handlers and the event loop stay live.
+        core = await asyncio.to_thread(
+            SchedulerService.restore, config.snapshot_dir
+        )
         # Runtime knobs (socket, pacing) come from the new invocation.
         core.config = config
     else:

@@ -1,0 +1,8 @@
+"""Seeded true-positive catalogue for ``repro analyze`` (REP100-REP103).
+
+A miniature of the real service topology (protocol / daemon / client /
+gateway / engine) where every violation class the whole-program
+analyzer detects is planted deliberately, alongside suppressed and
+legitimately-excluded variants that must NOT flag.
+``tests/test_check_graph.py`` asserts the exact findings.
+"""

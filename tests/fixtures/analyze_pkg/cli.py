@@ -1,0 +1,10 @@
+"""Fixture CLI: issues the consistent verbs (issuer coverage for cli)."""
+
+from analyze_pkg.service.client import ServiceClient
+
+
+def main() -> int:
+    client = ServiceClient()
+    client.submit("resnet")
+    client.status("job-0")
+    return 0

@@ -1,0 +1,1 @@
+"""Gateway tier of the analyzer fixture package."""

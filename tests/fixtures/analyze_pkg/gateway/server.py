@@ -1,0 +1,21 @@
+"""Fixture gateway: direct blocking call on the event loop (REP100).
+
+Also issues ``status`` as a request-body dict literal so the protocol
+pass sees the second issuing shape.
+"""
+
+import asyncio
+import time
+
+
+class GatewayDaemon:
+    async def poll_workers(self) -> dict:
+        # REP100 true positive: time.sleep stalls every connection on
+        # the shared event loop.
+        time.sleep(0.05)
+        return {"op": "status", "job_id": "job-1"}
+
+    async def poll_workers_offloaded(self) -> dict:
+        # Clean variant: the same pause routed off-loop must not flag.
+        await asyncio.sleep(0.05)
+        return {"op": "status", "job_id": "job-2"}

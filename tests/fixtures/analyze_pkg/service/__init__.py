@@ -1,0 +1,1 @@
+"""Service tier of the analyzer fixture package."""

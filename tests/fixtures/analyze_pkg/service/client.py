@@ -1,0 +1,33 @@
+"""Fixture client: verb-issuing sites with seeded drift.
+
+* issues ``submit`` with a ``priority`` parameter the dispatcher never
+  reads (REP101 signature drift);
+* issues ``ghost``, declared but handled nowhere (pairs with the
+  protocol module's REP101 unhandled finding);
+* issues ``mystery``, declared nowhere (REP101 undeclared);
+* a suppressed undeclared issue shows the inline waiver.
+"""
+
+
+class ServiceClient:
+    def call(self, op: str, **params) -> dict:
+        return {"op": op, **params}
+
+    def submit(self, model: str) -> dict:
+        # REP101 true positive: ``priority`` is sent but no dispatcher
+        # reads it.
+        return self.call("submit", model=model, priority=7)
+
+    def status(self, job_id: str) -> dict:
+        return self.call("status", job_id=job_id)
+
+    def ghost(self) -> dict:
+        return self.call("ghost")
+
+    def mystery(self) -> dict:
+        # REP101 true positive: issued but never declared in VERBS.
+        return self.call("mystery")
+
+    def covert(self) -> dict:
+        # Suppressed variant: waived inline, must not flag.
+        return self.call("covert")  # repro-analyze: disable=REP101

@@ -1,0 +1,9 @@
+"""Fixture wire protocol: VERBS declarations with seeded drift.
+
+``ghost`` is declared and issued but handled nowhere (REP101
+unhandled); ``unsent`` is declared and handled but issued nowhere
+(REP101 unissued); ``submit``/``status`` are fully consistent except
+for the parameter drift seeded in :mod:`..client`.
+"""
+
+VERBS = frozenset({"submit", "status", "ghost", "unsent"})

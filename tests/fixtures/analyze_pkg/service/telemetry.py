@@ -1,0 +1,10 @@
+"""Fixture telemetry exporter (REP103 sink target)."""
+
+
+class TelemetryExporter:
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)

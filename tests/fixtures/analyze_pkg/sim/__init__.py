@@ -1,0 +1,1 @@
+"""Engine tier of the analyzer fixture package."""

@@ -1,0 +1,33 @@
+"""Fixture engine: snapshot-reachable state for REP102.
+
+``SimulationEngine`` is a snapshot root itself AND is held by the
+fixture ``SchedulerService``, so its fields are reached both directly
+and through the type graph.
+"""
+
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class SimulationEngine:
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.round_index = 0
+        # REP102 true positive: an executor pickled with every snapshot.
+        self._pool = ThreadPoolExecutor(2)
+        # Suppressed variant: acknowledged, waived inline.
+        self._probe = socket.socket()  # repro-analyze: disable=REP102
+
+    def step(self) -> int:
+        self.round_index += 1
+        return self.round_index
+
+
+class EngineGuard:
+    """Held by the service core via an annotated attribute (type graph)."""
+
+    def __init__(self) -> None:
+        # REP102 true positive reached transitively: SchedulerService ->
+        # EngineGuard -> lock.
+        self._mutex = threading.Lock()

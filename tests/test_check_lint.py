@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.check.lint import (
     FULL_SCOPE,
+    SCRIPT_SCOPE,
     FileScope,
     RULES,
     lint_file,
@@ -263,3 +264,69 @@ class TestReportsAndCatalogue:
     def test_source_tree_is_clean(self):
         # The acceptance gate: `repro lint src/` exits 0 on the final tree.
         assert lint_paths([SRC]) == []
+
+
+class TestEntrypointDirScoping:
+    """examples/ and benchmarks/ are entry-point scripts: hygiene only."""
+
+    REPO = Path(__file__).resolve().parents[1]
+
+    def test_examples_get_script_scope(self):
+        scope = scope_for_path(self.REPO / "examples" / "online_service_demo.py")
+        assert scope == SCRIPT_SCOPE
+        assert not scope.library and not scope.clocked and not scope.traced
+
+    def test_benchmarks_get_script_scope(self):
+        assert (
+            scope_for_path(self.REPO / "benchmarks" / "bench_gateway.py")
+            == SCRIPT_SCOPE
+        )
+
+    def test_tests_keep_full_scope(self):
+        assert scope_for_path(self.REPO / "tests" / "conftest.py") == FULL_SCOPE
+
+    def test_extended_tree_is_clean(self):
+        # The extended-lint CI gate: hygiene rules over tests/,
+        # benchmarks/ and examples/, skipping the seeded fixtures.
+        violations = [
+            v
+            for v in lint_paths(
+                [self.REPO / "tests", self.REPO / "benchmarks", self.REPO / "examples"],
+                exclude=("tests/fixtures",),
+            )
+            if v.rule_id in {"REP003", "REP004", "REP006"}
+        ]
+        assert violations == []
+
+
+class TestMainFlags:
+    """--select / --exclude / --explain on the lint entry point."""
+
+    def test_exclude_skips_fixture_catalogue(self):
+        fixture_dir = Path(__file__).parent / "fixtures"
+        assert lint_paths([fixture_dir], exclude=("fixtures",)) == []
+        assert lint_paths([FIXTURE]) != []
+
+    def test_select_filters_rules(self, capsys):
+        from repro.check import lint as lint_mod
+
+        code = lint_mod.main([str(FIXTURE), "--select", "REP004", "--format", "json"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert {v["rule"] for v in doc["violations"]} == {"REP004"}
+
+    def test_select_unknown_rule_errors(self):
+        import pytest
+
+        from repro.check import lint as lint_mod
+
+        with pytest.raises(SystemExit):
+            lint_mod.main([str(FIXTURE), "--select", "REP999"])
+
+    def test_explain_prints_rule_doc(self, capsys):
+        from repro.check import lint as lint_mod
+
+        assert lint_mod.main(["--explain", "REP006"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("REP006 [print-in-library]")
+        assert "rationale:" in out and "disable:" in out

@@ -510,6 +510,32 @@ class TestDaemonRoundTrip:
         assert records
         assert summarize_telemetry(records)["jobs_completed"] == 1
 
+    def test_stop_flushes_snapshot_and_handles_off_loop(self, tmp_path):
+        # Regression for the REP100 finding `repro analyze` surfaced:
+        # the final snapshot + telemetry/trace flush used to run on the
+        # event loop inside stop(); they now run via asyncio.to_thread.
+        # The observable contract is unchanged — a clean shutdown must
+        # still persist the tail of the run.
+        snap_dir = tmp_path / "snaps"
+        config = service_config(
+            tmp_path,
+            snapshot_dir=str(snap_dir),
+            telemetry_path=str(tmp_path / "telemetry.jsonl"),
+        )
+        with ThreadedDaemon(config) as daemon:
+            with ServiceClient(daemon.socket_path) as client:
+                client.submit(
+                    JobSpec(model_name="svm", gpus_requested=1, max_iterations=4)
+                )
+                client.drain()
+        # The context exit drove SchedulerDaemon.stop(): the final
+        # snapshot exists and restores to the drained state.
+        restored = SchedulerService.restore(snap_dir)
+        assert restored.idle
+        assert restored.metrics()["summary"]["jobs"] == 1
+        # close() ran too: telemetry reached disk before the loop died.
+        assert read_telemetry(config.telemetry_path)
+
     def test_drain_via_socket(self, tmp_path):
         config = service_config(tmp_path)
         with ThreadedDaemon(config) as daemon:

@@ -1,0 +1,276 @@
+"""Engine-scale benchmark: event-driven vs fixed cadence, Philly scale.
+
+Two legs, written to ``BENCH_scale.json`` at the repo root:
+
+* **sparse** — the regime the event-driven core targets: few hundred
+  long-running jobs spread over months, where a fixed 60 s pass cadence
+  burns passes that place nothing.  Runs the same trace under
+  ``pass_policy="fixed"`` and ``pass_policy="event"``, asserts the
+  outcomes are bit-identical, and records the wall-clock ratio (the PR
+  gate is >= 10x).
+* **philly** — the full synthetic-Philly trace (117,325 jobs on 550
+  servers / 2,474 GPUs by default) end-to-end in event mode, with a
+  jobs-vs-wall-clock curve at intermediate sizes.
+
+Environment overrides::
+
+    REPRO_SCALE_BENCH_JOBS=10000       # largest Philly point
+    REPRO_SCALE_BENCH_CURVE=2000,10000 # intermediate curve points
+    REPRO_SCALE_BENCH_SPARSE_JOBS=200  # sparse-leg trace size
+
+The CI scale-smoke step runs the 10k-job point with a wall-clock
+assertion; the full default is benchmark territory (tens of minutes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+
+from repro.cluster.cluster import Cluster
+from repro.schedulers import build_scheduler
+from repro.sim.engine import EngineConfig, SimulationEngine
+from repro.workload.generator import build_jobs
+from repro.workload.synthetic import (
+    PHILLY_NUM_GPUS,
+    PHILLY_NUM_JOBS,
+    PHILLY_NUM_SERVERS,
+    PhillyLikeTraceGenerator,
+    philly_cluster,
+    philly_scale_config,
+    sparse_trace_config,
+)
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+#: Far enough out that every job of every leg completes.
+MAX_TIME = 400 * 24 * 3600.0
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _run_once(
+    records, cluster, pass_policy: str, seed: int, engine_seed: int | None = None
+) -> dict:
+    """One engine run; jobs are rebuilt so runs stay independent.
+
+    ``seed`` drives job construction (learning curves, demands);
+    ``engine_seed`` the engine RNG (defaults to ``seed``).
+    """
+    jobs = build_jobs(records, seed=seed)
+    engine = SimulationEngine(
+        scheduler=build_scheduler("MLF-H"),
+        jobs=jobs,
+        cluster=cluster,
+        config=EngineConfig(
+            seed=seed if engine_seed is None else engine_seed,
+            max_time=MAX_TIME,
+            pass_policy=pass_policy,
+        ),
+    )
+    started = time.perf_counter()
+    cpu_started = time.process_time()
+    metrics = engine.run()
+    cpu = time.process_time() - cpu_started
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 3),
+        "cpu_s": round(cpu, 3),
+        "passes": engine.pass_index,
+        "completed": len(metrics.job_records),
+        "outcome": [(r.job_id, r.jct) for r in metrics.job_records],
+    }
+
+
+def bench_sparse(num_jobs: int, seed: int = 11, repeats: int = 3) -> dict:
+    """Fixed vs event cadence on the sparse long-job trace.
+
+    Each leg runs ``repeats`` times and reports the best wall clock
+    (standard benchmark practice — the minimum is the least-noise
+    estimate of the true cost); outcomes must be identical across every
+    run of both legs.
+    """
+    config = sparse_trace_config(num_jobs=num_jobs)
+    records = PhillyLikeTraceGenerator(config=config, seed=seed).generate()
+    cluster_spec = (40, 4)
+
+    def best_of(pass_policy: str) -> tuple[dict, list]:
+        runs = [
+            _run_once(
+                records,
+                Cluster.build(*cluster_spec),
+                pass_policy,
+                seed=seed,
+                engine_seed=5,
+            )
+            for _ in range(max(1, repeats))
+        ]
+        outcomes = [run.pop("outcome") for run in runs]
+        assert all(o == outcomes[0] for o in outcomes[1:]), "non-deterministic run"
+        return min(runs, key=lambda run: run["cpu_s"]), outcomes[0]
+
+    event, event_outcome = best_of("event")
+    fixed, fixed_outcome = best_of("fixed")
+    identical = event_outcome == fixed_outcome
+    # CPU time, not wall clock: the engine is pure compute, and process
+    # time is immune to scheduler interference on shared runners (wall
+    # clock is still reported per leg for reference).
+    speedup = fixed["cpu_s"] / event["cpu_s"] if event["cpu_s"] else None
+    return {
+        "num_jobs": num_jobs,
+        "servers": cluster_spec[0],
+        "fixed": fixed,
+        "event": event,
+        "bit_identical": identical,
+        "speedup": round(speedup, 2) if speedup else None,
+    }
+
+
+def bench_sparse_scale(
+    num_jobs: int = 10_000, seed: int = 11, wall_budget_s: float = 600.0
+) -> dict:
+    """CI scale smoke: a 10k-job sparse trace end-to-end in event mode.
+
+    One event-engine run (the fixed cadence would take ~10 minutes of
+    pure no-op passes at this size — exactly the pathology the event
+    core removes) with a wall-clock budget suited to shared CI runners.
+    """
+    config = sparse_trace_config(num_jobs=num_jobs)
+    records = PhillyLikeTraceGenerator(config=config, seed=seed).generate()
+    result = _run_once(records, Cluster.build(40, 4), "event", seed=seed, engine_seed=5)
+    result.pop("outcome")
+    return {
+        "num_jobs": num_jobs,
+        "servers": 40,
+        "wall_budget_s": wall_budget_s,
+        "within_budget": result["wall_s"] <= wall_budget_s,
+        "all_completed": result["completed"] == num_jobs,
+        **result,
+    }
+
+
+def bench_philly(job_counts: list[int], seed: int = 7) -> dict:
+    """Event-mode jobs-vs-wall-clock curve up to full Philly scale."""
+    curve = []
+    for num_jobs in job_counts:
+        config = philly_scale_config(num_jobs=num_jobs)
+        records = PhillyLikeTraceGenerator(config=config, seed=seed).generate()
+        result = _run_once(records, philly_cluster(), "event", seed=seed)
+        result.pop("outcome")
+        curve.append(
+            {
+                "num_jobs": num_jobs,
+                **result,
+                "jobs_per_s": round(num_jobs / result["wall_s"], 1)
+                if result["wall_s"]
+                else None,
+                "peak_rss_mb": round(_peak_rss_mb(), 1),
+            }
+        )
+        print(f"philly {num_jobs} jobs: {json.dumps(curve[-1])}", flush=True)
+    return {
+        "cluster": {
+            "servers": PHILLY_NUM_SERVERS,
+            "gpus": PHILLY_NUM_GPUS,
+        },
+        "trace_jobs_full": PHILLY_NUM_JOBS,
+        "curve": curve,
+    }
+
+
+def run_bench(
+    philly_jobs: int | None = None,
+    curve_points: list[int] | None = None,
+    sparse_jobs: int | None = None,
+) -> dict:
+    """Run both legs and assemble the report."""
+    if philly_jobs is None:
+        philly_jobs = int(
+            os.environ.get("REPRO_SCALE_BENCH_JOBS", str(PHILLY_NUM_JOBS))
+        )
+    if curve_points is None:
+        curve_env = os.environ.get("REPRO_SCALE_BENCH_CURVE", "2000,10000")
+        curve_points = [int(j) for j in curve_env.split(",") if j.strip()]
+    if sparse_jobs is None:
+        sparse_jobs = int(os.environ.get("REPRO_SCALE_BENCH_SPARSE_JOBS", "100"))
+
+    sparse = bench_sparse(sparse_jobs)
+    print(f"sparse: {json.dumps(sparse)}", flush=True)
+    points = sorted({p for p in curve_points if p < philly_jobs}) + [philly_jobs]
+    philly = bench_philly(points)
+    return {
+        "benchmark": "event-driven engine core at scale",
+        "sparse": sparse,
+        "philly": philly,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if "--smoke" in argv:
+        # CI scale smoke: the sparse fixed-vs-event ratio plus a 10k-job
+        # sparse trace end-to-end under a wall-clock budget.
+        sparse = bench_sparse(
+            int(os.environ.get("REPRO_SCALE_BENCH_SPARSE_JOBS", "100"))
+        )
+        print(f"sparse: {json.dumps(sparse)}", flush=True)
+        scale = bench_sparse_scale(
+            int(os.environ.get("REPRO_SCALE_SMOKE_JOBS", "10000"))
+        )
+        print(f"sparse-scale: {json.dumps(scale)}", flush=True)
+        report = {
+            "benchmark": "event-driven engine core at scale (smoke)",
+            "sparse": sparse,
+            "sparse_scale": scale,
+            "cpu_count": os.cpu_count(),
+        }
+        OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        ok = (
+            sparse["bit_identical"]
+            and sparse["speedup"] is not None
+            and sparse["speedup"] >= 10.0
+            and scale["within_budget"]
+            and scale["all_completed"]
+        )
+        return 0 if ok else 1
+    report = run_bench()
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if not report["sparse"]["bit_identical"]:
+        return 1
+    if report["sparse"]["speedup"] is None or report["sparse"]["speedup"] < 10.0:
+        return 1
+    return 0
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.slow
+    def test_scale_bench():
+        """Event mode beats fixed cadence >=10x on the sparse trace and
+        completes a 10k-job Philly slice end-to-end (the full trace is
+        script/benchmark territory)."""
+        philly_jobs = int(os.environ.get("REPRO_SCALE_BENCH_JOBS", "10000"))
+        report = run_bench(philly_jobs=philly_jobs, curve_points=[2000])
+        OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        assert report["sparse"]["bit_identical"]
+        assert report["sparse"]["speedup"] >= 10.0
+        last = report["philly"]["curve"][-1]
+        assert last["completed"] == last["num_jobs"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,7 +53,7 @@ def _grid() -> api.Grid:
 
 
 def run_bench() -> dict:
-    """Time serial vs parallel execution of the same grid."""
+    """Time serial vs parallel (cold and warm pool) over the same grid."""
     grid = _grid()
     workers = int(os.environ.get("REPRO_SWEEP_BENCH_WORKERS", "4"))
 
@@ -61,13 +61,22 @@ def run_bench() -> dict:
     serial = api.sweep(grid, workers=0)
     serial_s = time.perf_counter() - started
 
-    started = time.perf_counter()
-    parallel = api.sweep(grid, workers=workers)
-    parallel_s = time.perf_counter() - started
+    # One runner, two runs: the first pays pool start-up (cold), the
+    # second reuses the live workers (warm) — the lifecycle repeated
+    # sweeps through ``SweepRunner`` get since the warm-pool fix.
+    with api.SweepRunner(workers=workers) as runner:
+        started = time.perf_counter()
+        parallel = runner.run(grid)
+        parallel_s = time.perf_counter() - started
 
-    identical = json.dumps(serial.merged(), sort_keys=True) == json.dumps(
+        started = time.perf_counter()
+        warm = runner.run(grid)
+        parallel_warm_s = time.perf_counter() - started
+
+    canonical = json.dumps(serial.merged(), sort_keys=True)
+    identical = canonical == json.dumps(
         parallel.merged(), sort_keys=True
-    )
+    ) and canonical == json.dumps(warm.merged(), sort_keys=True)
     report = {
         "benchmark": "repro.exp sweep serial-vs-parallel",
         "grid": {
@@ -78,11 +87,17 @@ def run_bench() -> dict:
         },
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
+        "parallel_warm_s": round(parallel_warm_s, 3),
         "workers": workers,
         "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "speedup_warm": round(serial_s / parallel_warm_s, 3)
+        if parallel_warm_s > 0
+        else None,
         "cpu_count": os.cpu_count(),
         "bit_identical": identical,
-        "failed_shards": serial.stats["failed"] + parallel.stats["failed"],
+        "failed_shards": serial.stats["failed"]
+        + parallel.stats["failed"]
+        + warm.stats["failed"],
     }
     return report
 

@@ -36,13 +36,37 @@ ROUND_COLUMNS = (
 )
 
 
+#: v2 (event-mode) records rename some v1 keys; the readers accept
+#: both schemas by falling back through these aliases.
+_COLUMN_ALIASES: dict[str, tuple[str, ...]] = {
+    "round": ("pass_index",),
+    "pass_index": ("round",),
+}
+
+
+def _column_value(record: dict[str, Any], column: str) -> object:
+    value = record.get(column)
+    if value is not None:
+        return value
+    for alias in _COLUMN_ALIASES.get(column, ()):
+        value = record.get(alias)
+        if value is not None:
+            return value
+    return 0
+
+
 def telemetry_rows(
     records: Iterable[dict[str, Any]], columns: Sequence[str] = ROUND_COLUMNS
 ) -> list[list[object]]:
-    """Per-round table rows (missing fields render as 0)."""
+    """Per-round table rows (missing fields render as 0).
+
+    Accepts both the v1 (``round``-keyed) and v2 (``pass_index``-keyed)
+    telemetry schemas — the counters alias each other in either
+    direction.
+    """
     rows: list[list[object]] = []
     for record in records:
-        rows.append([record.get(column, 0) for column in columns])
+        rows.append([_column_value(record, column) for column in columns])
     return rows
 
 

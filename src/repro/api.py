@@ -48,7 +48,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultPlan, load_plan, save_plan
 from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
 from repro.schedulers import SCHEDULER_FACTORIES, build_scheduler
-from repro.sim.engine import EngineConfig
+from repro.sim.engine import EngineConfig, PassResult, SimulationEngine
 from repro.sim.interface import Scheduler, SchedulerDecision, SchedulingContext
 from repro.workload.generator import WorkloadConfig
 
@@ -61,6 +61,7 @@ __all__ = [
     "GatewaySpec",
     "Grid",
     "MLFSConfig",
+    "PassResult",
     "PretrainSpec",
     "PriorityWeights",
     "RewardWeights",
@@ -71,6 +72,7 @@ __all__ = [
     "SchedulerDecision",
     "SchedulerSpec",
     "SchedulingContext",
+    "SimulationEngine",
     "SweepProgress",
     "SweepResult",
     "SweepRunner",
@@ -107,10 +109,10 @@ def sweep(
     Serial and parallel sweeps of the same grid produce bit-identical
     merged results; see :mod:`repro.exp.runner` for the full contract.
     """
-    runner = SweepRunner(
+    with SweepRunner(
         workers=workers,
         cache_dir=cache_dir,
         observer=observer,
         on_progress=on_progress,
-    )
-    return runner.run(grid)
+    ) as runner:
+        return runner.run(grid)

@@ -128,6 +128,7 @@ class AnalyzerConfig:
         "derive_trace_id",
         "derive_span_id",
         "round_record",
+        "pass_record",
     )
     #: Class names whose constructor arguments are taint sinks.
     taint_sink_constructors: tuple[str, ...] = ("TraceContext",)

@@ -198,6 +198,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fault-injection plan JSON applied by round index (repro.faults)",
     )
+    p_serve.add_argument(
+        "--pass-policy",
+        choices=["fixed", "event"],
+        default="fixed",
+        help="scheduling-pass cadence: fixed tick or event-driven"
+        " (park passes that are provably no-ops)",
+    )
 
     p_sub = sub.add_parser("submit", help="submit one job to a running daemon")
     p_sub.add_argument("--socket", default="repro-service.sock")
@@ -232,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
             "metrics",
             "history",
             "drain",
+            "step",
             "cancel",
             "snapshot",
             "ping",
@@ -258,6 +266,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="faultctl straggler_start iteration-time multiplier",
+    )
+    p_ctl.add_argument(
+        "--rounds", type=int, default=None, help="step: scheduling passes to run"
+    )
+    p_ctl.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        help="step: advance until the sim clock reaches this time (seconds)",
+    )
+    p_ctl.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        help="step: advance until this many simulator events were processed",
     )
 
     p_gw = sub.add_parser(
@@ -551,6 +574,7 @@ def cmd_serve(args) -> int:
         sanitize=True if args.sanitize else None,
         faults_path=args.faults,
         telemetry_obs=args.telemetry_obs,
+        pass_policy=args.pass_policy,
     )
     print(f"repro daemon listening on {args.socket} (scheduler={args.scheduler})")
     try:
@@ -726,6 +750,14 @@ def cmd_ctl(args) -> int:
             out = client.history(args.job_id)
         elif args.verb == "drain":
             out = client.drain()
+        elif args.verb == "step":
+            if args.until is not None and args.events is not None:
+                raise SystemExit("ctl step takes at most one of --until/--events")
+            out = client.step(
+                rounds=args.rounds if args.rounds is not None else 1,
+                until=args.until,
+                events=args.events,
+            )
         elif args.verb == "cancel":
             if not args.job_id:
                 raise SystemExit("ctl cancel requires a job_id")

@@ -9,6 +9,7 @@ overload predicates of Section 3.3 — per-resource utilization against
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -45,6 +46,12 @@ class Server:
     #: overloaded on every predicate and rejects placements until revived.
     failed: bool = False
     gpus: list[GPU] = field(default_factory=list)
+    #: Monotonic count of load mutations (task placed or removed) on
+    #: this server, including per-GPU load changes — they only happen
+    #: through :meth:`place_task`/:meth:`remove_task`.  Lets callers
+    #: memoize load-derived quantities (the iteration-duration model)
+    #: and invalidate exactly when this host's load state changes.
+    load_version: int = field(default=0, repr=False)
     _tasks: dict[str, "Task"] = field(default_factory=dict, repr=False)
     _load: ResourceVector = field(default_factory=ResourceVector.zeros, repr=False)
 
@@ -65,16 +72,51 @@ class Server:
         return self._load.divide_by(self.capacity).clamp_nonnegative()
 
     def overload_degree(self) -> float:
-        """``O_s = ||U_s||`` — Euclidean norm of the utilization vector."""
-        return self.utilization().norm()
+        """``O_s = ||U_s||`` — Euclidean norm of the utilization vector.
+
+        Scalar-wise: the cluster-wide degree sums this over every server
+        once per pass, so it avoids the intermediate vectors of
+        ``utilization().norm()`` (numerically identical).
+        """
+        load = self._load
+        cap = self.capacity
+        ug = load.gpu / cap.gpu if cap.gpu else 0.0
+        uc = load.cpu / cap.cpu if cap.cpu else 0.0
+        um = load.mem / cap.mem if cap.mem else 0.0
+        ub = load.bw / cap.bw if cap.bw else 0.0
+        if ug < 0.0:
+            ug = 0.0
+        if uc < 0.0:
+            uc = 0.0
+        if um < 0.0:
+            um = 0.0
+        if ub < 0.0:
+            ub = 0.0
+        return math.sqrt(ug * ug + uc * uc + um * um + ub * ub)
 
     def is_overloaded(self, threshold: float) -> bool:
         """True when any resource utilization exceeds ``h_r`` (Section 3.3.2).
 
         A failed server is unconditionally overloaded, which keeps every
         capacity-checking placement path away from lost hardware.
+        Scalar-wise (the overload scan visits every server every pass):
+        matches ``utilization().exceeds_any(threshold)`` exactly,
+        including the clamp of negative accounting noise to zero.
         """
-        return self.failed or self.utilization().exceeds_any(threshold)
+        if self.failed:
+            return True
+        load = self._load
+        cap = self.capacity
+        ug = load.gpu / cap.gpu if cap.gpu else 0.0
+        uc = load.cpu / cap.cpu if cap.cpu else 0.0
+        um = load.mem / cap.mem if cap.mem else 0.0
+        ub = load.bw / cap.bw if cap.bw else 0.0
+        return (
+            (ug if ug > 0.0 else 0.0) > threshold
+            or (uc if uc > 0.0 else 0.0) > threshold
+            or (um if um > 0.0 else 0.0) > threshold
+            or (ub if ub > 0.0 else 0.0) > threshold
+        )
 
     def overloaded_kinds(self, threshold: float) -> list[ResourceKind]:
         """The resource kinds whose utilization exceeds ``threshold``."""
@@ -150,6 +192,7 @@ class Server:
         target.add_task(task)
         self._tasks[task.task_id] = task
         self._load = self._load + task.true_demand
+        self.load_version += 1
         return target
 
     def remove_task(self, task: "Task") -> None:
@@ -161,3 +204,4 @@ class Server:
             gpu.remove_task(task)
         del self._tasks[task.task_id]
         self._load = (self._load - task.true_demand).clamp_nonnegative()
+        self.load_version += 1

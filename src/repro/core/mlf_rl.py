@@ -72,6 +72,12 @@ class MLFRLScheduler(Scheduler):
     epoch_seconds: float = 1800.0
     name: str = "MLF-RL"
 
+    # Same action space as MLF-H (placements/migrations/evictions, no
+    # stops, no time-slicing): an empty queue with no overload yields an
+    # empty decision, so event-driven passes may park (class attribute,
+    # not a dataclass field — deliberately un-annotated).
+    event_parkable = True
+
     calculator: PriorityCalculator = field(init=False)
     placement: PlacementEngine = field(init=False)
     migration: MigrationSelector = field(init=False)
@@ -189,7 +195,7 @@ class MLFRLScheduler(Scheduler):
             return None
         if self.policy is None or len(candidates) == 1:
             with _span("rl_inference", mode="fallback", candidates=len(candidates)):
-                choice = self.placement.select_host(task, shadow)
+                choice = self.placement.select_host(task, shadow, candidates=candidates)
             if choice is None:
                 return None
             return choice.server_id, choice.gpu_id

@@ -97,11 +97,18 @@ class PlacementEngine:
     def candidate_servers(
         self, task: Task, shadow: ShadowCluster
     ) -> list[Server]:
-        """Underloaded servers that can host the task without overload."""
+        """Underloaded servers that can host the task without overload.
+
+        One shadow scan suffices: task demand is non-negative, so a
+        server that stays under the threshold *with* the task hosted is
+        necessarily underloaded without it — ``would_overload`` subsumes
+        the separate ``underloaded_servers`` pre-filter the hot path
+        used to pay for.
+        """
         threshold = self.config.overload_threshold
         return [
             server
-            for server in shadow.underloaded_servers(threshold)
+            for server in shadow.cluster.servers
             if not shadow.would_overload(server, task.demand, threshold)
         ]
 
@@ -110,15 +117,19 @@ class PlacementEngine:
         task: Task,
         shadow: ShadowCluster,
         movement_penalty: float = 0.0,
+        candidates: Optional[list[Server]] = None,
     ) -> Optional[HostChoice]:
         """Pick the host closest to the ideal virtual server.
 
         ``movement_penalty`` is the normalized performance degradation
         ``q`` of moving this task (0 for fresh placements from the
-        queue, positive for migrations).  Returns ``None`` when no
-        underloaded server can host the task.
+        queue, positive for migrations).  ``candidates`` lets a caller
+        that already computed :meth:`candidate_servers` for this task
+        and shadow state skip the second scan.  Returns ``None`` when
+        no underloaded server can host the task.
         """
-        candidates = self.candidate_servers(task, shadow)
+        if candidates is None:
+            candidates = self.candidate_servers(task, shadow)
         if not candidates:
             return None
         choice_id, distance = self._closest_to_ideal(
@@ -135,10 +146,21 @@ class PlacementEngine:
         shadow: ShadowCluster,
         movement_penalty: float,
     ) -> tuple[int, float]:
-        utils = {s.server_id: shadow.utilization(s) for s in candidates}
-        ideal_components = [
-            min(utils[s.server_id][kind] for s in candidates) for kind in range(4)
-        ]
+        # Plain tuples and an unrolled distance loop: this runs for every
+        # candidate of every task placement and is the RIAL hot path at
+        # Philly scale, so it avoids genexpr/sum overhead per server.
+        utils = {s.server_id: shadow.utilization_tuple(s) for s in candidates}
+        first = utils[candidates[0].server_id]
+        ideal_0, ideal_1, ideal_2, ideal_3 = first
+        for util in utils.values():
+            if util[0] < ideal_0:
+                ideal_0 = util[0]
+            if util[1] < ideal_1:
+                ideal_1 = util[1]
+            if util[2] < ideal_2:
+                ideal_2 = util[2]
+            if util[3] < ideal_3:
+                ideal_3 = util[3]
         use_bw = self.config.use_bandwidth
         volumes = {}
         max_volume = 0.0
@@ -150,21 +172,23 @@ class PlacementEngine:
                 volumes[server.server_id] = volume
                 max_volume = max(max_volume, volume)
 
+        penalty_sq = movement_penalty**2
         best_id = candidates[0].server_id
         best_distance = math.inf
         for server in candidates:
-            util = utils[server.server_id]
-            distance_sq = sum(
-                (util[kind] - ideal_components[kind]) ** 2 for kind in range(4)
-            )
+            u0, u1, u2, u3 = utils[server.server_id]
+            d0 = u0 - ideal_0
+            d1 = u1 - ideal_1
+            d2 = u2 - ideal_2
+            d3 = u3 - ideal_3
+            distance_sq = d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3
             if use_bw and max_volume > 0:
                 # Ideal = the maximum volume (normalized to 1): servers
                 # hosting more of the task's communication peers are
                 # closer to the ideal.
                 normalized = volumes[server.server_id] / max_volume
                 distance_sq += (normalized - 1.0) ** 2
-            distance_sq += movement_penalty**2
-            distance = math.sqrt(distance_sq)
+            distance = math.sqrt(distance_sq + penalty_sq)
             if distance < best_distance - 1e-12:
                 best_distance = distance
                 best_id = server.server_id

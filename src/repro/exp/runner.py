@@ -178,6 +178,23 @@ def run_shard(payload: dict[str, Any]) -> RunRecord:
         return error_record(spec, exc)
 
 
+def warm_worker(pretrain_payloads: list[dict[str, Any]]) -> None:
+    """Pool initializer: pretrain policies before any shard arrives.
+
+    Under the ``fork`` start method the parent already trained these
+    (see :meth:`SweepRunner._warm_parent`), so the calls are cache hits
+    and worker start-up stays instant; under ``spawn`` each worker
+    trains once here instead of stalling its first RL shard.  Training
+    failures are swallowed — the shard that needs the policy will hit
+    the same error and report it through the structured-error envelope.
+    """
+    for payload in pretrain_payloads:
+        try:
+            policy_for(PretrainSpec.from_json(payload))
+        except Exception:  # noqa: BLE001 — shards surface the real error
+            pass
+
+
 # -- sweep orchestration ---------------------------------------------------
 
 
@@ -233,6 +250,13 @@ class SweepResult:
 class SweepRunner:
     """Executes a grid (or spec list) with caching and parallelism.
 
+    The worker pool is *warm*: it is created on the first parallel
+    :meth:`run`, pre-seeded with every pretrain policy the grid needs
+    (parent-side training + a pool initializer, so the work happens
+    once rather than once per worker), and reused by later runs.  Use
+    the runner as a context manager — or call :meth:`close` — to
+    release the pool.
+
     Parameters
     ----------
     workers:
@@ -263,6 +287,22 @@ class SweepRunner:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.observer = observer
         self.on_progress = on_progress
+        #: Warm pool, built on first parallel execution and reused by
+        #: every subsequent :meth:`run` (workers keep their per-process
+        #: policy cache).  :meth:`close` releases it.
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def close(self) -> None:
+        """Shut down the warm worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def run(self, grid: Union[Grid, Iterable[RunSpec]]) -> SweepResult:
         """Execute every spec; return the deterministically merged result."""
@@ -323,26 +363,61 @@ class SweepRunner:
             reporter.shard_done(spec, record, elapsed=elapsed)
             yield spec.digest(), record, elapsed
 
+    def _pretrains_of(self, specs: list[RunSpec]) -> list[PretrainSpec]:
+        """Distinct pretrain specs the pending shards will need."""
+        by_digest: dict[str, PretrainSpec] = {}
+        for spec in specs:
+            pretrain = spec.scheduler.pretrain
+            if pretrain is not None:
+                by_digest.setdefault(pretrain.digest(), pretrain)
+        return list(by_digest.values())
+
+    def _warm_parent(self, pretrains: list[PretrainSpec]) -> None:
+        """Train needed policies in the parent before forking workers.
+
+        Under the (Linux-default) ``fork`` start method every worker
+        inherits :data:`_POLICY_CACHE`, so N workers share one training
+        instead of each redoing it — the fix for parallel sweeps coming
+        out *slower* than serial on RL grids.  Failures are left to the
+        owning shard so they surface as structured error records.
+        """
+        for pretrain in pretrains:
+            try:
+                policy_for(pretrain)
+            except Exception:  # noqa: BLE001 — shards surface the real error
+                pass
+
+    def _ensure_pool(self, specs: list[RunSpec]) -> ProcessPoolExecutor:
+        if self._pool is None:
+            pretrains = self._pretrains_of(specs)
+            self._warm_parent(pretrains)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=warm_worker,
+                initargs=([p.to_json() for p in pretrains],),
+            )
+        return self._pool
+
     def _execute_pool(
         self, specs: list[RunSpec], reporter: "_Reporter"
     ) -> Iterable[tuple[str, RunRecord, float]]:
         by_future: dict[Future[RunRecord], tuple[RunSpec, float]] = {}
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            for spec in specs:
-                future = pool.submit(run_shard, spec.to_json())
-                by_future[future] = (spec, time.monotonic())
-            outstanding = set(by_future)
-            while outstanding:
-                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    spec, started = by_future[future]
-                    elapsed = time.monotonic() - started
-                    try:
-                        record = future.result()
-                    except Exception as exc:  # pool/pickling breakage
-                        record = error_record(spec, exc, tb=traceback.format_exc())
-                    reporter.shard_done(spec, record, elapsed=elapsed)
-                    yield spec.digest(), record, elapsed
+        pool = self._ensure_pool(specs)
+        for spec in specs:
+            future = pool.submit(run_shard, spec.to_json())
+            by_future[future] = (spec, time.monotonic())
+        outstanding = set(by_future)
+        while outstanding:
+            finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in finished:
+                spec, started = by_future[future]
+                elapsed = time.monotonic() - started
+                try:
+                    record = future.result()
+                except Exception as exc:  # pool/pickling breakage
+                    record = error_record(spec, exc, tb=traceback.format_exc())
+                reporter.shard_done(spec, record, elapsed=elapsed)
+                yield spec.digest(), record, elapsed
 
     # -- cache -------------------------------------------------------------
 

@@ -58,6 +58,20 @@ class FaultInjector:
         """
         return self.plan.is_empty and not self.pending and not self.stragglers
 
+    def armed_after(self, round_index: int) -> bool:
+        """Whether any fault activity can still occur past this round.
+
+        The event-driven engine must not park its pass timer while this
+        is True: plan events are keyed by (1-based) round index, so
+        skipping passes would postpone them, and an active straggler
+        phase or queued runtime event likewise needs passes to resolve.
+        Once the plan's last round has fired and nothing is pending the
+        injector can never act again and parking is safe.
+        """
+        if self.pending or self.stragglers:
+            return True
+        return any(event.round_index > round_index for event in self.plan.events)
+
     def take_events(self, round_index: int) -> tuple[FaultEvent, ...]:
         """Events to apply this round: scheduled ∪ runtime, sorted.
 

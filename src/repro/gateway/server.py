@@ -897,8 +897,24 @@ class GatewayDaemon:
                 raise ProtocolError(reply.get("error", f"unknown job {job_id!r}"))
             return Response.success(dict(reply["result"]), id=request.id)
         if request.op == "step":
-            rounds = max(1, int(params.get("rounds", 1)))
-            per_partition = await self._fanout({"op": "step", "rounds": rounds})
+            until = params.get("until")
+            events = params.get("events")
+            if until is not None and events is not None:
+                raise ProtocolError(
+                    "step accepts at most one of 'until' and 'events'"
+                )
+            payload: dict[str, Any]
+            if until is not None:
+                # Time-based stepping fans out unchanged: every
+                # partition advances its own clock to the same bound.
+                payload = {"op": "step", "until": float(until)}
+            elif events is not None:
+                # Event counts are per partition (a global budget would
+                # make partition progress depend on fan-out ordering).
+                payload = {"op": "step", "events": int(events)}
+            else:
+                payload = {"op": "step", "rounds": max(1, int(params.get("rounds", 1)))}
+            per_partition = await self._fanout(payload)
             return Response.success(
                 {"partitions": {str(p): r for p, r in sorted(per_partition.items())}},
                 id=request.id,

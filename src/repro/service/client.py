@@ -251,8 +251,25 @@ class ServiceClient:
         """Stop admissions and run everything to completion."""
         return self.call("drain", max_rounds=max_rounds)
 
-    def step(self, rounds: int = 1) -> dict[str, Any]:
-        """Advance scheduler rounds without draining."""
+    def step(
+        self,
+        rounds: int = 1,
+        until: Optional[float] = None,
+        events: Optional[int] = None,
+    ) -> dict[str, Any]:
+        """Advance the scheduler without draining.
+
+        Exactly one stepping mode applies: ``until`` runs passes until
+        the sim clock reaches that time, ``events`` until that many
+        simulator events have been processed, and otherwise ``rounds``
+        counts scheduling passes (the legacy mode).
+        """
+        if until is not None and events is not None:
+            raise ValueError("step accepts at most one of 'until' and 'events'")
+        if until is not None:
+            return self.call("step", until=until)
+        if events is not None:
+            return self.call("step", events=events)
         return self.call("step", rounds=rounds)
 
     def workers(self) -> dict[str, Any]:

@@ -29,7 +29,7 @@ import signal
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.faults.injector import FaultInjector
@@ -52,8 +52,13 @@ from repro.obs.observer import Observer
 from repro.obs.tracectx import TraceContext, derive_span_id, trace_context
 from repro.obs.tracing import NullTracer, Tracer
 from repro.service.snapshot import SnapshotManager
-from repro.service.telemetry import RunningJctStats, TelemetryExporter, round_record
-from repro.sim.engine import EngineConfig, RoundResult, SimulationEngine
+from repro.service.telemetry import (
+    RunningJctStats,
+    TelemetryExporter,
+    pass_record,
+    round_record,
+)
+from repro.sim.engine import EngineConfig, PassResult, SimulationEngine
 from repro.sim.interface import Scheduler
 from repro.workload.generator import WorkloadConfig, build_job
 from repro.workload.job import Job
@@ -102,6 +107,11 @@ class ServiceConfig:
     #: families so same-seed runs emit bit-identical JSONL — the
     #: gateway's per-partition determinism contract), or ``"none"``.
     telemetry_obs: str = "full"
+    #: Scheduling-pass cadence of the embedded engine: ``"fixed"``
+    #: (legacy, a pass every ``tick_seconds``) or ``"event"`` (passes
+    #: park while provably no-op; event mode also switches telemetry to
+    #: the v2 ``pass_record`` schema keyed by sim time).
+    pass_policy: str = "fixed"
 
 
 class SchedulerService:
@@ -136,6 +146,7 @@ class SchedulerService:
                 tick_seconds=self.config.tick_seconds,
                 seed=self.config.seed,
                 max_time=float("inf"),
+                pass_policy=self.config.pass_policy,
             ),
             observer=self.observer,
             sanitize=self.config.sanitize,
@@ -276,9 +287,14 @@ class SchedulerService:
                 )
         return {"results": results, "count": len(results)}
 
-    def advance_round(self) -> RoundResult:
-        """Run one scheduler round; release parked work; emit telemetry."""
-        result = self.engine.step()
+    def advance_round(self, until: Optional[float] = None) -> PassResult:
+        """Run one scheduler pass; release parked work; emit telemetry.
+
+        ``until`` bounds the pass to events at or before that sim time
+        (the ``step until=`` path); ``None`` keeps the legacy
+        one-pass-per-call behaviour.
+        """
+        result = self.engine.advance(until=until)
         released = self.admission.release(self.engine.cluster)
         for job_id in released:
             entry = self._registry[job_id]
@@ -287,7 +303,15 @@ class SchedulerService:
         self._admission_queue_gauge.set(self.admission.queue_depth)
         self._overload_smoothed_gauge.set(self.admission.tracker.value)
         if result.ticked or result.events_processed:
-            record = round_record(
+            # Event mode emits the v2 schema (keyed by sim time);
+            # fixed mode keeps the v1 records the golden traces and
+            # the gateway determinism contract pin.
+            builder = (
+                pass_record
+                if self.engine.config.pass_policy == "event"
+                else round_record
+            )
+            record = builder(
                 result,
                 self.engine.metrics,
                 admission_queue_depth=self.admission.queue_depth,
@@ -325,6 +349,56 @@ class SchedulerService:
                 break
         self.engine.finalize()
         return {"rounds": rounds, "idle": self.idle, **self.metrics()}
+
+    def passes_until(
+        self, until: float, max_passes: int = 100_000
+    ) -> Iterator[PassResult]:
+        """Yield scheduling passes until the sim clock reaches ``until``.
+
+        Each yield is one :meth:`advance_round` bounded to ``until``
+        (telemetry and admission release run per pass as usual).  When
+        the generator is exhausted the clock stands exactly at
+        ``until`` even if no event lay that far out
+        (:meth:`SimulationEngine.fast_forward`).  The loop stops early
+        once a pass makes no progress — no events under the bound and
+        nothing released from the admission queue.
+        """
+        passes = 0
+        while self.engine.now < until and passes < max_passes:
+            depth_before = self.admission.queue_depth
+            result = self.advance_round(until=until)
+            passes += 1
+            yield result
+            if (
+                result.events_processed == 0
+                and self.admission.queue_depth >= depth_before
+            ):
+                break
+        self.engine.fast_forward(until)
+
+    def passes_for_events(
+        self, events: int, max_passes: int = 100_000
+    ) -> Iterator[PassResult]:
+        """Yield scheduling passes until ``events`` events processed.
+
+        The cumulative ``events_processed`` across yielded passes
+        reaches at least ``events`` unless the engine runs dry first
+        (same no-progress stop rule as :meth:`passes_until`).
+        """
+        target = max(1, events)
+        processed = 0
+        passes = 0
+        while processed < target and passes < max_passes:
+            depth_before = self.admission.queue_depth
+            result = self.advance_round()
+            passes += 1
+            processed += result.events_processed
+            yield result
+            if (
+                result.events_processed == 0
+                and self.admission.queue_depth >= depth_before
+            ):
+                break
 
     def status(self, job_id: Optional[str] = None) -> dict[str, Any]:
         """Status of one job or of every known job."""
@@ -670,6 +744,38 @@ class SchedulerDaemon:
             result = await self._drain(int(params.get("max_rounds", 100_000)))
             return Response.success(result, id=request.id)
         if request.op == "step":
+            until = params.get("until")
+            events = params.get("events")
+            if until is not None and events is not None:
+                raise ProtocolError(
+                    "step accepts at most one of 'until' and 'events'"
+                )
+            if until is not None or events is not None:
+                if until is not None:
+                    passes_iter = core.passes_until(float(until))
+                else:
+                    passes_iter = core.passes_for_events(int(events))
+                passes = 0
+                events_processed = 0
+                last = None
+                for result in passes_iter:
+                    last = result
+                    passes += 1
+                    events_processed += result.events_processed
+                    await asyncio.sleep(0)
+                return Response.success(
+                    {
+                        "round": core.engine.round_index,
+                        "pass_index": core.engine.pass_index,
+                        "sim_time": core.engine.now,
+                        "passes": passes,
+                        "events_processed": events_processed,
+                        "ticked": bool(last.ticked) if last else False,
+                        "queue_depth": len(core.engine.queue),
+                        "active_jobs": len(core.engine.active_jobs),
+                    },
+                    id=request.id,
+                )
             rounds = max(1, int(params.get("rounds", 1)))
             last = None
             for _ in range(rounds):

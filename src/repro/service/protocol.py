@@ -29,8 +29,13 @@ Verbs
              each stamped with round, servers and priority.
 ``drain``    Stop admitting work and run the engine until everything
              completes.
-``step``     Advance a fixed number of scheduler rounds (keeps
-             admitting; useful for tests and paced drivers).
+``step``     Advance the scheduler without draining (keeps admitting;
+             useful for tests and paced drivers).  Exactly one of three
+             stepping modes: ``rounds`` (fixed number of scheduling
+             passes, the legacy default), ``until`` (run passes until
+             the sim clock reaches that time, then fast-forward the
+             clock to it), or ``events`` (run passes until that many
+             simulator events were processed).
 ``snapshot`` Force a snapshot to disk now.
 ``ping``     Liveness probe (clients time it for round-trip latency).
 ``workers``  Per-partition worker liveness (gateway only).

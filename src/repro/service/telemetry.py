@@ -18,11 +18,14 @@ from pathlib import Path
 from typing import Any, Iterable, Optional, TextIO
 
 from repro.analysis.cdf import percentile_sorted
-from repro.sim.engine import RoundResult
+from repro.sim.engine import PassResult
 from repro.sim.metrics import SimulationMetrics
 
 #: Telemetry format revision (stamped into every record).
 TELEMETRY_VERSION = 1
+
+#: Revision of the event-mode (pass-keyed) record schema.
+PASS_TELEMETRY_VERSION = 2
 
 #: JCT percentiles reported each round.
 JCT_PERCENTILES = (50.0, 95.0, 99.0)
@@ -68,7 +71,7 @@ class RunningJctStats:
 
 
 def round_record(
-    result: RoundResult,
+    result: PassResult,
     metrics: SimulationMetrics,
     admission_queue_depth: int = 0,
     overload_smoothed: Optional[float] = None,
@@ -109,6 +112,37 @@ def round_record(
         record["overload_smoothed"] = overload_smoothed
     for q in JCT_PERCENTILES:
         record[f"jct_p{int(q)}"] = jct_stats.percentile(q) if len(jct_stats) else 0.0
+    return record
+
+
+def pass_record(
+    result: PassResult,
+    metrics: SimulationMetrics,
+    admission_queue_depth: int = 0,
+    overload_smoothed: Optional[float] = None,
+    jct_stats: Optional[RunningJctStats] = None,
+) -> dict[str, Any]:
+    """The v2 (event-mode) telemetry record, keyed by sim time.
+
+    Same measurement surface as :func:`round_record` but a pass-centric
+    header: ``v`` is :data:`PASS_TELEMETRY_VERSION`, the pass counter
+    lives under ``pass_index`` (no ``round`` key), and
+    ``events_processed`` reports how many simulator events the pass
+    consumed.  Readers (:func:`summarize_telemetry`,
+    :mod:`repro.analysis.telemetry`) accept both schemas; see
+    DESIGN.md §15 for the migration window.
+    """
+    record = round_record(
+        result,
+        metrics,
+        admission_queue_depth=admission_queue_depth,
+        overload_smoothed=overload_smoothed,
+        jct_stats=jct_stats,
+    )
+    del record["round"]
+    record["v"] = PASS_TELEMETRY_VERSION
+    record["pass_index"] = result.pass_index
+    record["events_processed"] = result.events_processed
     return record
 
 

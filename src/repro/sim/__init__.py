@@ -1,6 +1,8 @@
 """Discrete-event ML-cluster simulator: events, execution, network, engine."""
 
-from repro.sim.engine import EngineConfig, RoundResult, SimulationEngine
+from typing import Any
+
+from repro.sim.engine import EngineConfig, PassResult, SimulationEngine, TaskQueue
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.execution import ExecutionModel
 from repro.sim.interface import (
@@ -40,6 +42,7 @@ __all__ = [
     "JobRecord",
     "JobStop",
     "Migration",
+    "PassResult",
     "Placement",
     "RoundResult",
     "Scheduler",
@@ -49,6 +52,7 @@ __all__ = [
     "SimulationMetrics",
     "SimulationResult",
     "SimulationSetup",
+    "TaskQueue",
     "iteration_comm",
     "job_links",
     "migration_volume_mb",
@@ -56,3 +60,13 @@ __all__ = [
     "run_comparison",
     "run_simulation",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    # ``RoundResult`` stays importable for one release; the engine
+    # module owns the alias (and its DeprecationWarning).
+    if name == "RoundResult":
+        from repro.sim import engine
+
+        return engine.RoundResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,13 +15,27 @@ of a job that has been partially placed for ``stall_ticks`` consecutive
 rounds, returning them to the queue.
 
 Stepping API: besides the monolithic :meth:`SimulationEngine.run`, the
-engine exposes an incremental driver interface used by the online
-service layer (:mod:`repro.service`): :meth:`SimulationEngine.step`
-advances the simulation through exactly one scheduler round and returns
-a :class:`RoundResult`; :meth:`SimulationEngine.inject_job` admits a job
+engine exposes a time-based incremental driver interface used by the
+online service layer (:mod:`repro.service`):
+:meth:`SimulationEngine.advance` runs the simulation through exactly
+one scheduling pass and returns a :class:`PassResult`;
+:meth:`SimulationEngine.run_until` processes every event up to a target
+simulation time; :meth:`SimulationEngine.inject_job` admits a job
 mid-run (the streaming-arrival path); :meth:`SimulationEngine.cancel_job`
-terminates an active job early.  ``run()`` is now a thin loop over
-``step()`` so both drivers produce the identical schedule.
+terminates an active job early.  ``run()`` is a thin loop over
+``advance()`` so both drivers produce the identical schedule.
+:meth:`SimulationEngine.step` remains as a deprecated round-indexed
+shim over ``advance()`` (one release of compatibility; see DESIGN.md
+§15).
+
+Event-driven mode: ``EngineConfig(pass_policy="event")`` keeps the
+fixed scheduling-pass grid but *parks* the pass timer whenever a pass
+provably cannot change the schedule — every task placed, no overload,
+no stall in progress, no fault event armed — and re-arms it (on the
+same grid, so event-aligned passes coincide with the fixed cadence) as
+soon as an arrival or drain-out changes that.  Sparse workloads then
+cost O(events) instead of O(simulated minutes).  The default
+``pass_policy="fixed"`` reproduces the historical cadence bit for bit.
 
 Invariant sanitizer: ``SimulationEngine(sanitize=True)`` (or the
 ``REPRO_SANITIZE=1`` environment switch) audits every completed round
@@ -33,11 +47,13 @@ offending server/task ids the moment bookkeeping breaks.
 
 from __future__ import annotations
 
+import math
 import random
 import time as _time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Iterable, Iterator, Optional, Union
 
 from repro.check.sanitize import Sanitizer, sanitize_from_env
 from repro.cluster.cluster import Cluster
@@ -88,6 +104,14 @@ class EngineConfig:
         Failure injection passed to the execution model.
     seed:
         Seed of the engine's private RNG (straggler draws).
+    pass_policy:
+        ``"fixed"`` (default) runs a scheduling pass every
+        ``tick_seconds`` of simulated time while work is active — the
+        paper's "the job scheduler runs every minute" and the cadence
+        the golden traces froze.  ``"event"`` keeps the same pass grid
+        but skips passes that provably cannot change the schedule (see
+        the module docstring); requires a scheduler that declares
+        ``event_parkable`` or it silently behaves like ``"fixed"``.
     """
 
     tick_seconds: float = 60.0
@@ -99,6 +123,7 @@ class EngineConfig:
     straggler_probability: float = 0.0
     straggler_slowdown: float = 3.0
     seed: int = 0
+    pass_policy: str = "fixed"
 
 
 @dataclass
@@ -111,17 +136,23 @@ class _IterationState:
 
 
 @dataclass(frozen=True, slots=True)
-class RoundResult:
-    """What happened during one :meth:`SimulationEngine.step` call.
+class PassResult:
+    """What happened during one :meth:`SimulationEngine.advance` call.
 
-    A *round* is the span of simulated time up to and including the next
-    scheduler tick.  The service layer turns these into telemetry
-    records; ``ticked`` is False when the event queue ran dry (or
-    ``max_time`` was hit) before a tick could fire.
+    A *pass* is the span of simulated time up to and including the next
+    scheduling pass (historically a "round").  The service layer turns
+    these into telemetry records keyed by ``sim_time``; ``ticked`` is
+    False when the event queue ran dry (or ``max_time`` was hit) before
+    a pass could fire.
+
+    ``PassResult`` supersedes the round-indexed ``RoundResult`` (which
+    is now a deprecated alias of this class): ``round_index`` and
+    ``now`` remain readable as compatibility properties for one release
+    (DESIGN.md §15 documents the migration).
     """
 
-    round_index: int
-    now: float
+    pass_index: int
+    sim_time: float
     ticked: bool
     events_processed: int
     arrivals: int
@@ -135,11 +166,116 @@ class RoundResult:
     running_jobs: int
     overload_degree: float
     drained: bool
-    #: Fault injection (repro.faults): events applied this round, tasks
-    #: killed by them, and servers currently down after the round.
+    #: Fault injection (repro.faults): events applied this pass, tasks
+    #: killed by them, and servers currently down after the pass.
     faults: int = 0
     tasks_killed: int = 0
     failed_servers: int = 0
+
+    @property
+    def round_index(self) -> int:
+        """Deprecated spelling of :attr:`pass_index`."""
+        return self.pass_index
+
+    @property
+    def now(self) -> float:
+        """Deprecated spelling of :attr:`sim_time`."""
+        return self.sim_time
+
+
+def __getattr__(name: str) -> Any:
+    # Deprecated alias kept importable for one release: the engine's
+    # public result type is PassResult; RoundResult is the same class
+    # under its pre-event-engine name.
+    if name == "RoundResult":
+        warnings.warn(
+            "RoundResult is deprecated; use repro.sim.engine.PassResult"
+            " (same fields, with pass_index/sim_time as the primary"
+            " spellings of round_index/now)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return PassResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+class TaskQueue:
+    """The waiting-task FIFO with amortized-O(1) arbitrary removal.
+
+    Placement removes tasks from arbitrary positions; at synthetic-Philly
+    scale (10^5 queued tasks under a deep backlog) ``list.remove`` makes
+    every scheduling pass O(n²).  Removal here only marks the task id
+    dead; the backing list compacts once half its entries are dead, so
+    append/remove are amortized O(1) while iteration preserves exact
+    FIFO (insertion) order — the dequeue order the golden traces froze.
+
+    A task id may be re-queued after removal (eviction and fault-kill
+    paths); the structure assumes one live entry per task id, which the
+    engine guarantees (a task is either queued or placed, never both).
+    """
+
+    #: Dead-entry floor below which compaction is not worth the copy.
+    _COMPACT_MIN = 64
+
+    def __init__(self, tasks: Optional[Iterable[Task]] = None) -> None:
+        self._items: list[Task] = []
+        self._live: set[str] = set()
+        self._dead: set[str] = set()
+        for task in tasks or ():
+            self.append(task)
+
+    def append(self, task: Task) -> None:
+        if task.task_id in self._live:
+            raise ValueError(f"task {task.task_id} is already queued")
+        if task.task_id in self._dead:
+            # Purge the stale entry first so the re-queued task lands at
+            # the tail (FIFO position of *this* enqueue, not the old one).
+            self._compact()
+        self._items.append(task)
+        self._live.add(task.task_id)
+
+    def remove(self, task: Task) -> None:
+        if task.task_id not in self._live:
+            raise ValueError(f"task {task.task_id} not in the waiting queue")
+        self._live.discard(task.task_id)
+        self._dead.add(task.task_id)
+        if (
+            len(self._dead) >= self._COMPACT_MIN
+            and len(self._dead) * 2 >= len(self._items)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._items = [t for t in self._items if t.task_id in self._live]
+        self._dead.clear()
+
+    def __iter__(self) -> Iterator[Task]:
+        live = self._live
+        return (t for t in self._items if t.task_id in live)
+
+    def __getitem__(self, index: int) -> Task:
+        """Positional access in FIFO order (tests/diagnostics; O(n))."""
+        return list(self)[index]
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def __contains__(self, task: object) -> bool:
+        task_id = getattr(task, "task_id", None)
+        return task_id is not None and task_id in self._live
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TaskQueue):
+            return list(self) == list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"TaskQueue({[t.task_id for t in self]!r})"
 
 
 class SimulationEngine:
@@ -180,8 +316,13 @@ class SimulationEngine:
             straggler_probability=self.config.straggler_probability,
             straggler_slowdown=self.config.straggler_slowdown,
         )
+        if self.config.pass_policy not in ("fixed", "event"):
+            raise ValueError(
+                f"unknown pass_policy {self.config.pass_policy!r};"
+                " expected 'fixed' or 'event'"
+            )
         self.now = 0.0
-        self.queue: list[Task] = []
+        self.queue: TaskQueue = TaskQueue()
         self.active_jobs: dict[str, Job] = {}
         self._events = EventQueue()
         self._rng = random.Random(self.config.seed)
@@ -197,6 +338,14 @@ class SimulationEngine:
         self._max_time_reached = False
         self._ticks_pending = 0
         self._round_index = 0
+        # Event-driven pass control: a "parked" engine has no scheduling
+        # pass pending; ``_anchor`` is the time of the last pass and
+        # defines the grid re-armed passes snap back onto.
+        self._event_mode = self.config.pass_policy == "event" and bool(
+            getattr(scheduler, "event_parkable", False)
+        )
+        self._parked = False
+        self._anchor = 0.0
         self._round_counters: dict[str, int] = {}
         self._reset_round_counters()
         # Invariant sanitizer (repro.check.sanitize): explicit flag wins,
@@ -226,7 +375,12 @@ class SimulationEngine:
 
     @property
     def round_index(self) -> int:
-        """Number of scheduler rounds executed so far."""
+        """Number of scheduling passes executed so far (legacy name)."""
+        return self._round_index
+
+    @property
+    def pass_index(self) -> int:
+        """Number of scheduling passes executed so far."""
         return self._round_index
 
     def start(self) -> None:
@@ -243,30 +397,32 @@ class SimulationEngine:
         """Execute the simulation to completion and return the metrics."""
         self.start()
         while True:
-            result = self.step()
+            result = self.advance()
             if result.drained or result.events_processed == 0:
                 break
         self.finalize()
         return self.metrics
 
-    def step(self) -> RoundResult:
-        """Advance through pending events until one scheduler round ran.
+    def advance(self, until: Optional[float] = None) -> PassResult:
+        """Advance through pending events until one scheduling pass ran.
 
         Processes events in time order and returns after handling the
         next ``SCHEDULE_TICK`` (or earlier, when the event queue runs
-        dry, ``max_time`` is exceeded, or the workload drains).  Calling
-        ``step()`` in a loop reproduces exactly the schedule ``run()``
-        produces — the service daemon relies on this equivalence for
-        deterministic snapshot/restore.
+        dry, ``max_time`` is exceeded, the workload drains, or the next
+        event lies beyond ``until``).  Calling ``advance()`` in a loop
+        reproduces exactly the schedule ``run()`` produces — the service
+        daemon relies on this equivalence for deterministic
+        snapshot/restore.
         """
         self.start()
         self._reset_round_counters()
         # Runtime-injected faults (``faultctl``) must not sit queued on
-        # a drained engine with no tick to carry the fault phase — seed
-        # one so e.g. a crash on an idle cluster still applies.  Plan
-        # events are unaffected: they fire only on rounds that happen
-        # anyway.
+        # a drained (or parked) engine with no tick to carry the fault
+        # phase — seed one so e.g. a crash on an idle cluster still
+        # applies.  Plan events are unaffected: they fire only on
+        # passes that happen anyway.
         if self.faults is not None and self.faults.pending:
+            self._parked = False
             self._ensure_tick(self.now)
         ticked = False
         events_processed = 0
@@ -274,6 +430,8 @@ class SimulationEngine:
             next_time = self._events.peek_time()
             if next_time is not None and next_time > self.config.max_time:
                 self._max_time_reached = True
+                break
+            if until is not None and next_time is not None and next_time > until:
                 break
             event = self._events.pop()
             self.now = max(self.now, event.time)
@@ -296,9 +454,9 @@ class SimulationEngine:
             self._last_decision = None
             self.sanitizer.check_round(self, decision=decision)
         counters = self._round_counters
-        result = RoundResult(
-            round_index=self._round_index,
-            now=self.now,
+        result = PassResult(
+            pass_index=self._round_index,
+            sim_time=self.now,
             ticked=ticked,
             events_processed=events_processed,
             arrivals=counters["arrivals"],
@@ -318,6 +476,57 @@ class SimulationEngine:
         )
         self.obs.on_round(result)
         return result
+
+    def run_until(self, until: float) -> list[PassResult]:
+        """Process every event at or before ``until``; advance the clock.
+
+        Runs scheduling passes as they come due, returning one
+        :class:`PassResult` per ``advance()`` call (the final entry may
+        have ``ticked=False`` — the tail of events before the cut-off).
+        Afterwards the simulation clock stands at ``until`` (clamped to
+        ``max_time``) even if no event lay that far out, so time-based
+        drivers can interleave ``run_until`` with :meth:`inject_job`.
+        """
+        self.start()
+        results: list[PassResult] = []
+        while True:
+            result = self.advance(until=until)
+            results.append(result)
+            if result.drained or result.events_processed == 0:
+                break
+        self.fast_forward(until)
+        return results
+
+    def fast_forward(self, until: float) -> float:
+        """Advance the idle clock to ``until`` (clamped to ``max_time``).
+
+        Only moves time forward — never rewinds — and refuses to move
+        past ``max_time``.  Callers that drain events up to a bound
+        (:meth:`run_until`, the daemon's ``step until=``) use this so
+        the clock lands exactly on the bound even when no event lay
+        that far out.
+        """
+        if not self._max_time_reached:
+            target = min(until, self.config.max_time)
+            if target > self.now:
+                self.now = target
+        return self.now
+
+    def step(self) -> PassResult:
+        """Deprecated alias of :meth:`advance` (no ``until`` bound).
+
+        The round-indexed stepping surface predates the event-driven
+        engine; new callers should drive the engine with
+        :meth:`advance` / :meth:`run_until`.  The shim is bit-identical
+        to ``advance()`` — the golden traces pin that contract.
+        """
+        warnings.warn(
+            "SimulationEngine.step() is deprecated; use advance() or"
+            " run_until() (see DESIGN.md §15)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.advance()
 
     def finalize(self) -> SimulationMetrics:
         """Force-complete what is still active and close the metrics."""
@@ -346,6 +555,10 @@ class SimulationEngine:
         self._pending_arrivals += 1
         self._finalized = False
         self._events.push(Event(arrival, EventKind.JOB_ARRIVAL, job))
+        # A parked engine has no pass pending by design; a streamed
+        # arrival re-arms it immediately (service responsiveness beats
+        # grid alignment on this path).
+        self._parked = False
         self._ensure_tick(arrival)
         return arrival
 
@@ -383,6 +596,7 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def _handle_arrival(self, job: Job) -> None:
+        self._unpark()
         self._pending_arrivals -= 1
         self._round_counters["arrivals"] += 1
         self.active_jobs[job.job_id] = job
@@ -410,6 +624,8 @@ class SimulationEngine:
         self.scheduler.on_job_arrival(job, self.now)
 
     def _handle_tick(self) -> None:
+        # Every pass re-anchors the grid parked passes snap back onto.
+        self._anchor = self.now
         # Fault phase first: capacity changes and kills must be visible
         # to this round's scheduling pass, and crashes apply even while
         # the cluster is idle.
@@ -450,12 +666,66 @@ class SimulationEngine:
     def _schedule_next_tick(self) -> None:
         if not self.active_jobs and self._pending_arrivals == 0:
             return
+        if self._can_park():
+            # Event-driven mode: every task is running, nothing can need
+            # a pass before the next event — park instead of ticking.
+            self._parked = True
+            return
         next_time = self.now + self.config.tick_seconds
         if not self.active_jobs:
             # Idle: jump straight to the next arrival.
             upcoming = self._events.peek_time()
             if upcoming is not None:
                 next_time = max(next_time, upcoming)
+        self._push_tick(next_time)
+
+    # ------------------------------------------------------------------
+    # Event-driven pass control (pass_policy="event")
+    # ------------------------------------------------------------------
+
+    def _can_park(self) -> bool:
+        """Whether the next scheduling pass is provably a no-op.
+
+        True only when every active job is fully placed and iterating
+        (empty waiting queue, no partial placement under the stall
+        guard), no server exceeds the overload threshold (so no
+        migration can be due), and no fault event can still fire.  Under
+        those conditions a pass places nothing, evicts nothing, migrates
+        nothing and stops nothing — for schedulers that declare
+        ``event_parkable`` — so skipping it leaves the schedule
+        bit-identical while the clock jumps straight to the next event.
+        """
+        if not self._event_mode:
+            return False
+        if not self.active_jobs or self.queue:
+            return False
+        if self._stall_counter:
+            return False
+        # ``_round_index`` increments after the tick; the pass running
+        # right now is round ``_round_index + 1`` and its plan events
+        # have already fired in this pass's fault phase.
+        if self.faults is not None and self.faults.armed_after(self._round_index + 1):
+            return False
+        if self.cluster.overloaded_servers(self.config.overload_threshold):
+            return False
+        return True
+
+    def _unpark(self) -> None:
+        """Re-arm the pass timer on the fixed grid after a parked gap.
+
+        The next pass lands on the first ``tick_seconds`` grid point at
+        or after ``now`` (measured from the last pass, ``_anchor``), so
+        event-aligned passes coincide exactly with the fixed cadence —
+        the property the dense-trace equivalence tests pin.
+        """
+        if not self._parked:
+            return
+        self._parked = False
+        tick = self.config.tick_seconds
+        periods = math.ceil((self.now - self._anchor) / tick)
+        next_time = self._anchor + max(1, periods) * tick
+        if next_time < self.now:
+            next_time = self.now
         self._push_tick(next_time)
 
     def _handle_iteration_done(self, job: Job, token: int) -> None:
@@ -816,6 +1086,11 @@ class SimulationEngine:
         )
         self.metrics.record_job(job, waiting)
         self.active_jobs.pop(job.job_id, None)
+        if self._parked and not self.active_jobs:
+            # The cluster just went idle mid-gap: re-arm the pass timer
+            # so the engine reproduces the fixed cadence's idle handoff
+            # (one grid-aligned tick, then the jump to the next arrival).
+            self._unpark()
         self._stall_counter.pop(job.job_id, None)
         self._wait_since.pop(job.job_id, None)
         self._last_duration.pop(job.job_id, None)

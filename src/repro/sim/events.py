@@ -3,6 +3,17 @@
 A classic calendar queue over ``heapq`` with a monotonic sequence number
 breaking ties so that simultaneous events fire in insertion order —
 important for determinism across runs and platforms.
+
+Determinism contract (DESIGN.md §15): the heap ordering key is the pair
+``(time, insertion sequence)`` and nothing else — never object identity
+or hash order — so (1) equal-timestamp events always fire in the order
+they were pushed, (2) pickling the queue (daemon snapshots pickle the
+whole engine, heap included) and resuming replays the identical event
+order, because both the heap list and the ``itertools.count`` cursor
+travel with the snapshot.  Producers rely on the tie-break: trace
+arrivals are pushed before the first tick, and an iteration started
+during a pass is pushed before that pass's next tick, which fixes the
+admission/completion order at shared timestamps.
 """
 
 from __future__ import annotations
@@ -61,6 +72,19 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Time of the earliest event, or ``None`` when empty."""
         return self._heap[0][0] if self._heap else None
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it, or ``None`` when empty."""
+        return self._heap[0][2] if self._heap else None
+
+    def events_in_order(self) -> list[Event]:
+        """Every pending event in firing order (non-destructive).
+
+        Snapshot/restore tests use this to assert that a restored heap
+        will fire the identical sequence; it is O(n log n) and must not
+        appear on the hot path.
+        """
+        return [entry[2] for entry in sorted(self._heap, key=lambda e: e[:2])]
 
     def __len__(self) -> int:
         return len(self._heap)

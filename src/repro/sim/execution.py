@@ -21,7 +21,7 @@ import networkx as nx
 
 from repro.cluster.cluster import Cluster
 from repro.workload.job import Job, Task
-from repro.sim.network import CommLink, iteration_comm, job_links
+from repro.sim.network import CommLink, IterationComm, iteration_comm, job_links
 
 
 @dataclass
@@ -40,7 +40,20 @@ class ExecutionModel:
     straggler_slowdown: float = 3.0
 
     _topo_cache: dict[str, list[str]] = field(default_factory=dict, repr=False)
+    _preds_cache: dict[str, dict[str, list[str]]] = field(
+        default_factory=dict, repr=False
+    )
     _links_cache: dict[str, list[CommLink]] = field(default_factory=dict, repr=False)
+    #: Memoized (placement+load key, compute seconds, comm) per job: a
+    #: job iterating on an otherwise-quiet cluster re-derives the exact
+    #: same critical path and comm time every iteration.  The key pins
+    #: each task's (server, gpu, server load version), which covers
+    #: every input of the duration model, so a hit is exact — see
+    #: :meth:`iteration_duration`.
+    _duration_cache: dict[
+        str,
+        tuple[tuple[tuple[int | None, int | None, int], ...], float, IterationComm],
+    ] = field(default_factory=dict, repr=False)
 
     # -- caches ----------------------------------------------------------
 
@@ -51,6 +64,22 @@ class ExecutionModel:
             order = list(nx.topological_sort(job.dag))
             self._topo_cache[job.job_id] = order
         return order
+
+    def predecessors(self, job: Job) -> dict[str, list[str]]:
+        """Cached predecessor lists of the job's task DAG.
+
+        ``compute_critical_path`` runs once per iteration start, so at
+        trace scale the graph-walk overhead of
+        ``dag.predecessors(node)`` dominates; the DAG is frozen after
+        job construction, so the adjacency is cached like the topo
+        order.
+        """
+        preds = self._preds_cache.get(job.job_id)
+        if preds is None:
+            dag = job.dag
+            preds = {node: list(dag.predecessors(node)) for node in dag.nodes}
+            self._preds_cache[job.job_id] = preds
+        return preds
 
     def links(self, job: Job) -> list[CommLink]:
         """Cached communication links of the job."""
@@ -63,7 +92,9 @@ class ExecutionModel:
     def forget(self, job: Job) -> None:
         """Drop caches of a finished job."""
         self._topo_cache.pop(job.job_id, None)
+        self._preds_cache.pop(job.job_id, None)
         self._links_cache.pop(job.job_id, None)
+        self._duration_cache.pop(job.job_id, None)
 
     # -- the model -------------------------------------------------------
 
@@ -74,9 +105,14 @@ class ExecutionModel:
         server = cluster.server(task.server_id)
         gpu = server.gpus[task.gpu_id]
         slowdown = max(1.0, gpu.utilization)
-        util = server.utilization()
-        slowdown *= max(1.0, util.cpu)
-        slowdown *= max(1.0, util.mem)
+        # Scalar cpu/mem utilizations: this runs for every task of every
+        # iteration start, and ``server.utilization()`` would allocate
+        # two vectors per call.  ``max(1.0, clamp0(x)) == max(1.0, x)``,
+        # so the clamp folds into the floor.
+        load = server.load
+        cap = server.capacity
+        slowdown *= max(1.0, load.cpu / cap.cpu if cap.cpu else 0.0)
+        slowdown *= max(1.0, load.mem / cap.mem if cap.mem else 0.0)
         return slowdown
 
     def compute_critical_path(self, job: Job, cluster: Cluster) -> float:
@@ -87,10 +123,10 @@ class ExecutionModel:
                 task, cluster
             )
         longest: dict[str, float] = {}
-        dag = job.dag
+        preds = self.predecessors(job)
         for node in self.topo_order(job):
             best = 0.0
-            for pred in dag.predecessors(node):
+            for pred in preds[node]:
                 value = longest[pred]
                 if value > best:
                     best = value
@@ -105,9 +141,33 @@ class ExecutionModel:
         ``straggler_draw`` is a uniform [0, 1) sample from the engine's
         RNG; the straggler slowdown applies when it falls below
         ``straggler_probability``.
+
+        The pre-straggler (compute, comm) pair is memoized against the
+        job's placement-and-load key: durations depend only on each
+        task's (server, gpu) and its host server's load state, all of
+        which :attr:`Server.load_version` tracks — every ``place_task``
+        and ``remove_task`` anywhere on a host bumps its version, so a
+        key match guarantees bit-identical inputs and the memo is exact
+        (the straggler draw stays outside the cache).
         """
-        compute = self.compute_critical_path(job, cluster)
-        comm = iteration_comm(job, cluster, self.links(job))
+        key = tuple(
+            (
+                task.server_id,
+                task.gpu_id,
+                cluster.server(task.server_id).load_version
+                if task.server_id is not None
+                else -1,
+            )
+            for task in job.tasks
+        )
+        cached = self._duration_cache.get(job.job_id)
+        if cached is not None and cached[0] == key:
+            compute = cached[1]
+            comm = cached[2]
+        else:
+            compute = self.compute_critical_path(job, cluster)
+            comm = iteration_comm(job, cluster, self.links(job))
+            self._duration_cache[job.job_id] = (key, compute, comm)
         duration = compute + comm.seconds
         if straggler_draw < self.straggler_probability:
             duration *= self.straggler_slowdown

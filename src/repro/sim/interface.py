@@ -139,6 +139,16 @@ class Scheduler(abc.ABC):
     #: Human-readable policy name used in benchmark tables.
     name: str = "scheduler"
 
+    #: Declares that a no-op round is *provably* a no-op: when every
+    #: active job is fully placed, the queue is empty and no server is
+    #: overloaded, this scheduler's decision is always empty — it never
+    #: stops, re-packs or time-slices running jobs on its own clock.
+    #: The event-driven engine (``EngineConfig(pass_policy="event")``)
+    #: only skips scheduling passes for schedulers that set this; load
+    #: controllers (MLFS/MLF-C evaluate OptStop every round) and
+    #: time-slicing baselines must leave it False.
+    event_parkable: bool = False
+
     @abc.abstractmethod
     def on_schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
         """Produce the decision for one scheduling round."""

@@ -9,6 +9,7 @@ the same round.  Schedulers must never mutate the real cluster.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -39,12 +40,44 @@ class ShadowCluster:
 
     def server_load(self, server: Server) -> ResourceVector:
         """Real + tentative load of a server."""
-        delta = self._server_delta.get(server.server_id, ResourceVector.zeros())
+        delta = self._server_delta.get(server.server_id)
+        if delta is None:
+            return server.load.clamp_nonnegative()
         return (server.load + delta).clamp_nonnegative()
 
     def utilization(self, server: Server) -> ResourceVector:
         """Utilization vector including tentative load."""
         return self.server_load(server).divide_by(server.capacity).clamp_nonnegative()
+
+    def utilization_tuple(
+        self, server: Server
+    ) -> tuple[float, float, float, float]:
+        """:meth:`utilization` as a plain tuple, allocation-free.
+
+        The RIAL distance loop reads utilizations for every candidate
+        server of every task; going through :class:`ResourceVector`
+        there costs three allocations per server per query.  Numerically
+        identical to ``utilization(server).as_tuple()``.
+        """
+        load = server.load
+        lg, lc, lm, lb = load.gpu, load.cpu, load.mem, load.bw
+        delta = self._server_delta.get(server.server_id)
+        if delta is not None:
+            lg += delta.gpu
+            lc += delta.cpu
+            lm += delta.mem
+            lb += delta.bw
+        cap = server.capacity
+        ug = lg / cap.gpu if cap.gpu else 0.0
+        uc = lc / cap.cpu if cap.cpu else 0.0
+        um = lm / cap.mem if cap.mem else 0.0
+        ub = lb / cap.bw if cap.bw else 0.0
+        return (
+            ug if ug > 0.0 else 0.0,
+            uc if uc > 0.0 else 0.0,
+            um if um > 0.0 else 0.0,
+            ub if ub > 0.0 else 0.0,
+        )
 
     def overload_degree(self, server: Server) -> float:
         """``||U_s||`` including tentative load."""
@@ -92,19 +125,71 @@ class ShadowCluster:
         Failed servers and failed GPUs (including a server whose every
         device failed) always overload, so no scheduler path routes work
         onto lost hardware.
+
+        This predicate runs once per (task, server) pair inside every
+        placement scan — the hottest loop at Philly scale — so it is
+        written scalar-wise, allocating no intermediate
+        :class:`ResourceVector`; numerically it matches the composed
+        ``server_load``/``divide_by``/``exceeds_any`` path exactly.
         """
         if server.failed:
             return True
-        load = self.server_load(server) + demand
-        if load.divide_by(server.capacity).exceeds_any(threshold):
+        load = server.load
+        lg, lc, lm, lb = load.gpu, load.cpu, load.mem, load.bw
+        delta = self._server_delta.get(server.server_id)
+        if delta is not None:
+            lg += delta.gpu
+            lc += delta.cpu
+            lm += delta.mem
+            lb += delta.bw
+        # clamp_nonnegative of the shadow load, unrolled.
+        if lg < 0.0:
+            lg = 0.0
+        if lc < 0.0:
+            lc = 0.0
+        if lm < 0.0:
+            lm = 0.0
+        if lb < 0.0:
+            lb = 0.0
+        cap = server.capacity
+        if (
+            (cap.gpu and (lg + demand.gpu) / cap.gpu > threshold)
+            or (cap.cpu and (lc + demand.cpu) / cap.cpu > threshold)
+            or (cap.mem and (lm + demand.mem) / cap.mem > threshold)
+            or (cap.bw and (lb + demand.bw) / cap.bw > threshold)
+        ):
             return True
-        gid = gpu_id if gpu_id is not None else self.least_loaded_gpu(server)
-        gpu = server.gpus[gid]
-        if gpu.failed:
+        if gpu_id is not None:
+            gpu = server.gpus[gpu_id]
+            if gpu.failed:
+                return True
+            if not gpu.capacity:
+                return demand.gpu > 0
+            return (self.gpu_load(server, gpu_id) + demand.gpu) / gpu.capacity > threshold
+        if not server.gpus:
+            raise RuntimeError(f"server {server.server_id} has no GPUs")
+        # Inline least_loaded_gpu over healthy devices: iteration is in
+        # gpu_id order and strict ``<`` keeps the first minimum, matching
+        # the ``(utilization, gpu_id)`` tie-break of the method.
+        gpu_delta = self._gpu_delta
+        sid = server.server_id
+        best = None
+        best_util = math.inf
+        for g in server.gpus:
+            if g.failed:
+                continue
+            g_load = g.load + gpu_delta.get((sid, g.gpu_id), 0.0)
+            util = g_load / g.capacity if g.capacity else 0.0
+            if util < best_util:
+                best_util = util
+                best = g
+        if best is None:
+            # Every device failed: least_loaded_gpu would fall back to a
+            # failed GPU, which always overloads.
             return True
-        if not gpu.capacity:
+        if not best.capacity:
             return demand.gpu > 0
-        return (self.gpu_load(server, gid) + demand.gpu) / gpu.capacity > threshold
+        return (best.load + gpu_delta.get((sid, best.gpu_id), 0.0) + demand.gpu) / best.capacity > threshold
 
     def task_location(self, task: Task) -> Optional[int]:
         """Server id hosting the task, honoring this round's tentative moves."""

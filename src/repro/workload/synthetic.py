@@ -20,9 +20,13 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.workload.models import MODEL_NAMES
 from repro.workload.trace import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
 
 #: Paper setting: GPUs per job drawn from this set (Section 4.1).
 GPU_CHOICES: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
@@ -159,3 +163,86 @@ def generate_trace(
         num_jobs=num_jobs, duration_seconds=duration_seconds, **overrides
     )
     return PhillyLikeTraceGenerator(config=config, seed=seed).generate()
+
+
+# -- published Philly shape (Jeon et al., ATC 2019 / the paper's §4) -------
+
+#: Jobs in the public Philly trace slice the paper simulates against.
+PHILLY_NUM_JOBS = 117_325
+#: Servers in the Philly cluster.
+PHILLY_NUM_SERVERS = 550
+#: GPUs in the Philly cluster (not a multiple of the server count —
+#: the fleet mixes 4- and 5-GPU hosts when flattened to our model).
+PHILLY_NUM_GPUS = 2_474
+#: Arrival window of the trace (~75 days in the original).
+PHILLY_DURATION_SECONDS = 75 * 24 * 3600.0
+
+
+def philly_scale_config(
+    num_jobs: int = PHILLY_NUM_JOBS,
+    duration_seconds: float = PHILLY_DURATION_SECONDS,
+) -> SyntheticTraceConfig:
+    """The full synthetic-Philly preset (117,325 jobs by default).
+
+    Same statistical shape as the default generator, sized to the
+    published trace.  ``num_jobs`` scales the preset down for smoke
+    tests without changing the per-job distributions.
+    """
+    return SyntheticTraceConfig(
+        num_jobs=num_jobs,
+        duration_seconds=duration_seconds,
+    )
+
+
+def philly_cluster() -> "Cluster":
+    """The Philly fleet: 550 servers totalling exactly 2,474 GPUs.
+
+    2,474 is not a multiple of 550, so the build mixes 4- and 5-GPU
+    servers (matching how the heterogeneous fleet flattens onto our
+    homogeneous-server model) — 276 four-GPU and 274 five-GPU hosts.
+    """
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.resources import ResourceVector
+    from repro.cluster.server import DEFAULT_SERVER_CAPACITY, Server
+
+    base = DEFAULT_SERVER_CAPACITY
+    per_gpu = base.gpu / 4.0
+    servers = []
+    five_gpu_hosts = PHILLY_NUM_GPUS - 4 * PHILLY_NUM_SERVERS
+    for server_id in range(PHILLY_NUM_SERVERS):
+        num_gpus = 5 if server_id < five_gpu_hosts else 4
+        capacity = ResourceVector(
+            gpu=per_gpu * num_gpus, cpu=base.cpu, mem=base.mem, bw=base.bw
+        )
+        servers.append(
+            Server(server_id=server_id, capacity=capacity, num_gpus=num_gpus)
+        )
+    return Cluster(servers=servers)
+
+
+def sparse_trace_config(
+    num_jobs: int = 200,
+    duration_seconds: float = 90 * 24 * 3600.0,
+) -> SyntheticTraceConfig:
+    """A sparse trace: few, long-running jobs over a wide window.
+
+    The regime where event-driven passes shine — jobs spend most of
+    their life in long iterations with nothing schedulable, so fixed
+    60 s cadence burns passes that place nothing.  Used by
+    ``benchmarks/bench_scale.py``.
+    """
+    return SyntheticTraceConfig(
+        num_jobs=num_jobs,
+        duration_seconds=duration_seconds,
+        # Long jobs: shift the iteration log-normal up and clamp high.
+        mean_iterations=5.5,
+        sigma_iterations=0.6,
+        min_iterations=100,
+        max_iterations=2400,
+        diurnal_strength=0.3,
+        # The heaviest model only (140 s base iterations) with large
+        # gradient/activation volumes: each iteration spans several 60 s
+        # ticks, which is precisely when fixed cadence wastes passes.
+        model_names=("resnet",),
+        data_mb_range=(1000.0, 4000.0),
+    )

@@ -190,7 +190,7 @@ class TestQueueConsistency:
     def advance_until_queued(self, engine: SimulationEngine) -> None:
         engine.start()
         while not engine.queue:
-            result = engine.step()
+            result = engine.advance()
             assert result.events_processed, "workload drained before any task queued"
 
     def test_consistent_engine_passes(self):
@@ -201,7 +201,10 @@ class TestQueueConsistency:
     def test_duplicate_queue_entry(self):
         engine = small_engine()
         self.advance_until_queued(engine)
-        engine.queue.append(engine.queue[0])
+        # TaskQueue.append itself rejects duplicates, so simulate the
+        # corruption behind its back (a stale backing-list entry whose
+        # id is live again yields the task twice on iteration).
+        engine.queue._items.append(engine.queue[0])
         with pytest.raises(InvariantViolation) as exc:
             check_queue_consistency(engine)
         assert exc.value.invariant == "queue-consistency"
@@ -297,7 +300,7 @@ class TestSnapshotRoundtrip:
     def test_picklable_engine_round_trips(self):
         engine = small_engine()
         engine.start()
-        engine.step()
+        engine.advance()
         assert check_snapshot_roundtrip(engine) is True
 
     def test_unpicklable_engine_skipped(self):
@@ -308,7 +311,7 @@ class TestSnapshotRoundtrip:
     def test_digest_equality_after_pickle(self):
         engine = small_engine()
         engine.start()
-        engine.step()
+        engine.advance()
         clone = pickle.loads(pickle.dumps(engine))
         assert engine_state_digest(clone) == engine_state_digest(engine)
 
@@ -324,7 +327,7 @@ class TestSanitizerDriver:
     def test_check_round_raises_and_counts_on_leak(self):
         engine = small_engine(sanitize=True)
         engine.start()
-        engine.step()
+        engine.advance()
         engine.cluster.server(2)._load = ResourceVector(gpu=1.5)
         with pytest.raises(InvariantViolation) as exc:
             engine.sanitizer.check_round(engine)

@@ -34,7 +34,7 @@ def run_once(seed: int) -> tuple[list[str], list, list]:
     lines: list[str] = []
     rounds = []
     while True:
-        result = engine.step()
+        result = engine.advance()
         rounds.append(result)
         record = round_record(result, engine.metrics, jct_stats=stats)
         lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))

@@ -161,7 +161,7 @@ class TestEngineFaults:
         engine = make_engine(plan)
         engine.start()
         while True:
-            result = engine.step()
+            result = engine.advance()
             server = engine.cluster.server(0)
             if server.failed:
                 assert server.task_count == 0

@@ -79,7 +79,7 @@ def trace_scenario(name: str) -> list[str]:
     stats = RunningJctStats()
     lines: list[str] = []
     while True:
-        result = engine.step()
+        result = engine.advance()
         record = round_record(result, engine.metrics, jct_stats=stats)
         lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
         if result.drained or result.events_processed == 0:

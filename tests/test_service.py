@@ -69,7 +69,7 @@ class TestSteppingEngine:
         engine = small_engine()
         engine.start()
         while True:
-            result = engine.step()
+            result = engine.advance()
             if result.drained or result.events_processed == 0:
                 break
         engine.finalize()
@@ -81,7 +81,7 @@ class TestSteppingEngine:
         engine.start()
         results = []
         while True:
-            result = engine.step()
+            result = engine.advance()
             results.append(result)
             if result.drained or result.events_processed == 0:
                 break
@@ -97,13 +97,13 @@ class TestSteppingEngine:
         engine = small_engine(num_jobs=6, seed=31)
         engine.start()
         for _ in range(3):
-            engine.step()
+            engine.advance()
         injected_at = engine.now
         late = make_job(seed=5, job_id="late", gpus=2, iterations=5)
         arrival = engine.inject_job(late)
         assert arrival >= injected_at
         while True:
-            result = engine.step()
+            result = engine.advance()
             if result.drained or result.events_processed == 0:
                 break
         engine.finalize()
@@ -116,7 +116,7 @@ class TestSteppingEngine:
         engine = small_engine(num_jobs=4, seed=33)
         engine.start()
         for _ in range(4):
-            engine.step()
+            engine.advance()
         job = make_job(seed=9, job_id="stale", gpus=1, iterations=3)
         # An arrival time in the past must not rewind the clock.
         arrival = engine.inject_job(job, arrival_time=0.0)
@@ -130,7 +130,7 @@ class TestSteppingEngine:
         engine.inject_job(job)
         assert not engine.is_drained
         while True:
-            result = engine.step()
+            result = engine.advance()
             if result.drained or result.events_processed == 0:
                 break
         engine.finalize()
@@ -140,7 +140,7 @@ class TestSteppingEngine:
     def test_cancel_job(self):
         engine = small_engine(num_jobs=6, seed=37)
         engine.start()
-        engine.step()
+        engine.advance()
         victim = next(iter(engine.active_jobs))
         assert engine.cancel_job(victim) is True
         assert victim not in engine.active_jobs

@@ -88,6 +88,24 @@ class GangScheduler(Scheduler):
     def job_order(self, jobs: list[Job], ctx: SchedulingContext) -> list[Job]:
         """Order waiting jobs for admission (head admitted first)."""
 
+    def begin_pass(self, ctx: SchedulingContext) -> None:
+        """Hook run first in every scheduling pass (default: nothing).
+
+        Policies with per-pass bookkeeping (Tiresias' service stints)
+        reconcile state here, before preemption and admission read it.
+        Implementations must be provable no-ops on a pass where every
+        active job is fully placed with up-to-date bookkeeping —
+        otherwise the policy cannot declare ``event_parkable``.
+        """
+
+    def note_admitted(self, job: Job, ctx: SchedulingContext) -> None:
+        """Hook: ``job`` was fully packed for placement this pass.
+
+        Fires at emission time — the one moment that exists identically
+        in both pass policies — so service accounting (Tiresias) can
+        anchor a stint at the exact pass that placed the job.
+        """
+
     def preemptions(self, ctx: SchedulingContext) -> list[Job]:
         """Jobs whose tasks should be evicted this round (default: none)."""
         return []
@@ -104,6 +122,7 @@ class GangScheduler(Scheduler):
     def on_schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
         decision = SchedulerDecision()
         shadow = ShadowCluster(ctx.cluster)
+        self.begin_pass(ctx)
 
         evicted_jobs = set()
         for job in self.preemptions(ctx):
@@ -130,6 +149,7 @@ class GangScheduler(Scheduler):
             )
             if assignments is None:
                 continue  # backfill: try the next job
+            self.note_admitted(job, ctx)
             for task, server_id, gpu_id in assignments:
                 decision.placements.append(Placement(task, server_id, gpu_id))
 

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
+from repro.cluster.cluster import Cluster
 from repro.cluster.server import Server
 from repro.core.config import MLFSConfig
 from repro.sim.network import job_links
@@ -88,22 +89,189 @@ class TaskCommIndex:
 
 
 @dataclass
+class PlacementIndex:
+    """Servers partitioned by free GPU capacity, maintained incrementally.
+
+    The candidate scan used to visit every server per task — O(servers)
+    ``would_overload`` evaluations, the dominant cost of a dense pass at
+    Philly scale, where most servers are GPU-full and reject every
+    probe.  This index buckets servers by free GPU capacity under the
+    overload threshold in :data:`GRANULARITY`-ths of a GPU — task
+    demands are fractional (a parameter-server task asks ~0.05 GPU, a
+    worker ~0.4–0.85), so whole-GPU buckets would put every loaded
+    server in bucket 0 and prune nothing.  Heterogeneous capacity
+    classes fall out naturally: each server buckets by its *own*
+    ``threshold * capacity.gpu - load.gpu``.  A task demanding ``d``
+    GPUs only examines buckets ``>= floor(d * GRANULARITY - 1e-6)`` —
+    GPU-full servers are never touched.
+
+    Exactness contract — the bucket prefilter may **over**-include
+    (every survivor is re-checked with the full multi-resource
+    ``would_overload``) but must never wrongly exclude:
+
+    * live loads: a server that can host ``d`` has free GPU ``>= d`` up
+      to division-vs-subtraction rounding (~1e-13), hence sits in a
+      bucket the query visits (the ``1e-6`` cushion in the lower bound
+      concedes far more margin than any float noise);
+    * tentative state: any server touched by this round's shadow
+      commits (an eviction can *free* capacity the live view lacks) is
+      unioned into the result via
+      :meth:`~repro.sim.shadow.ShadowCluster.delta_server_ids`;
+    * failures: a crashed server keeps its stale bucket (failure does
+      not bump ``load_version``) — harmless, ``would_overload`` rejects
+      it.
+
+    Candidates are returned in ``server_id`` order — identical to the
+    ``cluster.servers`` scan order — so downstream tie-breaks
+    (:meth:`PlacementEngine._closest_to_ideal` keeps the first minimum;
+    the RL recorder stores positional ``chosen_index``) are unchanged.
+
+    Maintenance rides :attr:`repro.cluster.server.Server.load_version`:
+    :meth:`refresh` is an O(servers) integer sweep that re-buckets only
+    servers whose version moved — called once per scheduling pass (live
+    loads are frozen while a pass runs), not once per task.
+    """
+
+    #: Buckets per whole GPU of free capacity (1/20 GPU resolution —
+    #: finer than the smallest task demand, coarse enough that the
+    #: per-query bucket walk stays trivial).
+    GRANULARITY = 20
+
+    cluster: Cluster
+    threshold: float
+    _buckets: list[set[int]] = field(init=False, repr=False)
+    _bucket_of: list[int] = field(init=False, repr=False)
+    _versions: list[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        servers = self.cluster.servers
+        top = 0
+        for server in servers:
+            top = max(
+                top, int(self.threshold * server.capacity.gpu * self.GRANULARITY) + 1
+            )
+        self._buckets = [set() for _ in range(top + 1)]
+        self._bucket_of = [-1] * len(servers)
+        self._versions = [-1] * len(servers)
+        for server in servers:
+            self._rebucket(server)
+
+    def _bucket_index(self, server: Server) -> int:
+        free = self.threshold * server.capacity.gpu - server.load.gpu
+        if free < 0.0:
+            free = 0.0
+        bucket = int(free * self.GRANULARITY)
+        last = len(self._buckets) - 1
+        return bucket if bucket < last else last
+
+    def _rebucket(self, server: Server) -> None:
+        sid = server.server_id
+        bucket = self._bucket_index(server)
+        old = self._bucket_of[sid]
+        if old != bucket:
+            if old >= 0:
+                self._buckets[old].discard(sid)
+            self._buckets[bucket].add(sid)
+            self._bucket_of[sid] = bucket
+        self._versions[sid] = server.load_version
+
+    def refresh(self) -> None:
+        """Re-bucket every server whose ``load_version`` moved."""
+        versions = self._versions
+        for server in self.cluster.servers:
+            if versions[server.server_id] != server.load_version:
+                self._rebucket(server)
+
+    def candidate_ids(
+        self, demand_gpu: float, shadow: Optional[ShadowCluster] = None
+    ) -> list[int]:
+        """Server ids that *may* host ``demand_gpu``, in id order.
+
+        A superset of the true candidate set (see the exactness
+        contract above); callers re-check each id with the full
+        predicate.
+        """
+        low = int(demand_gpu * self.GRANULARITY - 1e-6)
+        if low < 0:
+            low = 0
+        last = len(self._buckets) - 1
+        if low > last:
+            low = last
+        # Buckets partition the servers, so plain extension is dedup-free;
+        # only the shadow-delta union needs a membership check.
+        ids: list[int] = []
+        for bucket in self._buckets[low:]:
+            ids.extend(bucket)
+        if shadow is not None:
+            delta = shadow.delta_server_ids()
+            if delta:
+                known = set(ids)
+                ids.extend(sid for sid in delta if sid not in known)
+        ids.sort()
+        return ids
+
+
+@dataclass
 class PlacementEngine:
     """Selects host servers per the ideal-virtual-server rule."""
 
     config: MLFSConfig
     comm_index: TaskCommIndex = field(default_factory=TaskCommIndex)
+    #: Pass-scoped candidate index (see :class:`PlacementIndex`).  Cache
+    #: state only — dropped on pickle (shadow tokens are process-local).
+    _index: Optional[PlacementIndex] = field(default=None, init=False, repr=False)
+    _index_pass_token: int = field(default=-1, init=False, repr=False)
 
     def candidate_servers(
         self, task: Task, shadow: ShadowCluster
     ) -> list[Server]:
         """Underloaded servers that can host the task without overload.
 
-        One shadow scan suffices: task demand is non-negative, so a
-        server that stays under the threshold *with* the task hosted is
-        necessarily underloaded without it — ``would_overload`` subsumes
-        the separate ``underloaded_servers`` pre-filter the hot path
-        used to pay for.
+        One ``would_overload`` check per *plausible* server: the
+        free-GPU-bucketed :class:`PlacementIndex` prunes servers that
+        cannot possibly fit the task's GPU demand, and the survivors
+        get the exact multi-resource predicate (which subsumes the
+        separate ``underloaded_servers`` pre-filter, since task demand
+        is non-negative).  Bit-identical to the full
+        :meth:`candidate_servers_scan` — the hypothesis suite pins the
+        equivalence under arbitrary place/evict/fail sequences.
+
+        The index refreshes once per scheduling pass (a new shadow
+        means a new pass; live loads never move while a pass runs).
+        Callers that mutate *live* server loads mid-shadow must build a
+        fresh :class:`~repro.sim.shadow.ShadowCluster` afterwards.
+        """
+        threshold = self.config.overload_threshold
+        cluster = shadow.cluster
+        index = self._index
+        if (
+            index is None
+            or index.cluster is not cluster
+            or index.threshold != threshold
+        ):
+            index = PlacementIndex(cluster, threshold)
+            self._index = index
+            self._index_pass_token = shadow.token
+        elif shadow.token != self._index_pass_token:
+            index.refresh()
+            self._index_pass_token = shadow.token
+        server_of = cluster.server
+        demand = task.demand
+        would_overload = shadow.would_overload
+        return [
+            server
+            for server in map(server_of, index.candidate_ids(demand.gpu, shadow))
+            if not would_overload(server, demand, threshold)
+        ]
+
+    def candidate_servers_scan(
+        self, task: Task, shadow: ShadowCluster
+    ) -> list[Server]:
+        """Brute-force candidate scan — the index's correctness oracle.
+
+        Visits every server with the exact predicate; kept as the
+        reference the property suite diffs :meth:`candidate_servers`
+        against.
         """
         threshold = self.config.overload_threshold
         return [
@@ -111,6 +279,17 @@ class PlacementEngine:
             for server in shadow.cluster.servers
             if not shadow.would_overload(server, task.demand, threshold)
         ]
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Shadow tokens (the index freshness key) are process-local
+        # counters; a restored engine rebuilds the index lazily.
+        state = self.__dict__.copy()
+        state["_index"] = None
+        state["_index_pass_token"] = -1
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
 
     def select_host(
         self,

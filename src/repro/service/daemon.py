@@ -411,6 +411,8 @@ class SchedulerService:
             "jobs": [self._job_status(jid, e) for jid, e in self._registry.items()],
             "round": self.engine.round_index,
             "sim_time": self.engine.now,
+            "pass_policy": self.engine.config.pass_policy,
+            "parked": self.engine.parked,
         }
 
     def cancel(self, job_id: str) -> dict[str, Any]:

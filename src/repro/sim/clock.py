@@ -1,0 +1,69 @@
+"""Pass-indexed policy clocks that survive parked gaps bit-identically.
+
+Schedulers with *clocked* per-pass behavior (Gandiva rotates time
+slices, SLAQ reallocates once per epoch) fire an action every N-th
+scheduling pass.  Under the event-driven engine
+(``EngineConfig(pass_policy="event")``, DESIGN.md §15) no-op passes are
+*skipped*, so a wall-clock timer (``now - last_fire >= period``) would
+fire at different times than the fixed cadence — float accumulation
+aside, the history itself diverges.
+
+:class:`PassClock` counts **passes**, not seconds: one :meth:`tick` per
+executed scheduling pass, and an analytic :meth:`advance` that replays
+any number of skipped passes in O(1) integer arithmetic.  Because the
+engine only skips passes that are provably no-ops (empty queue, all
+jobs placed, no overload, no armed fault, scheduler veto consulted),
+a skipped pass could only ever have *fired the clock without acting* —
+replaying the counter is exactly equivalent to having run the pass.
+Integer state means no float rounding can make the modes diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PassClock:
+    """Fires every ``period_passes``-th scheduling pass.
+
+    The counter lives in pure integers so the fixed-cadence and the
+    event-driven engine agree bit for bit: ``tick()`` at pass *k*
+    followed by ``advance(n)`` is indistinguishable from ``tick()``
+    called ``n`` more times (the proof obligation of the ``accrue()``
+    contract, DESIGN.md §15.7).
+    """
+
+    period_passes: int = 1
+    _since_fire: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.period_passes < 1:
+            raise ValueError(
+                f"period_passes must be >= 1, got {self.period_passes}"
+            )
+
+    def tick(self) -> bool:
+        """Count one executed scheduling pass; True when the clock fires."""
+        self._since_fire += 1
+        if self._since_fire >= self.period_passes:
+            self._since_fire = 0
+            return True
+        return False
+
+    def advance(self, skipped_passes: int) -> None:
+        """Replay ``skipped_passes`` parked no-op passes analytically.
+
+        Each skipped pass would have incremented the counter and — when
+        it reached the period — fired as a no-op and reset.  The closed
+        form of that loop is a single modulo.
+        """
+        if skipped_passes < 0:
+            raise ValueError(f"skipped_passes must be >= 0, got {skipped_passes}")
+        if skipped_passes:
+            self._since_fire = (self._since_fire + skipped_passes) % self.period_passes
+
+    @property
+    def passes_since_fire(self) -> int:
+        """Executed (or replayed) passes since the clock last fired."""
+        return self._since_fire

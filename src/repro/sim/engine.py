@@ -340,10 +340,15 @@ class SimulationEngine:
         self._round_index = 0
         # Event-driven pass control: a "parked" engine has no scheduling
         # pass pending; ``_anchor`` is the time of the last pass and
-        # defines the grid re-armed passes snap back onto.
+        # defines the grid re-armed passes snap back onto.  The
+        # ``event_parkable`` declaration and the accrue/veto hooks are
+        # read once here — a scheduler toggling the attribute mid-run
+        # must not change outcomes (pinned by a regression test).
         self._event_mode = self.config.pass_policy == "event" and bool(
             getattr(scheduler, "event_parkable", False)
         )
+        self._accrue_hook = getattr(scheduler, "accrue", None)
+        self._park_veto = getattr(scheduler, "can_park", None)
         self._parked = False
         self._anchor = 0.0
         self._round_counters: dict[str, int] = {}
@@ -382,6 +387,11 @@ class SimulationEngine:
     def pass_index(self) -> int:
         """Number of scheduling passes executed so far."""
         return self._round_index
+
+    @property
+    def parked(self) -> bool:
+        """Whether the pass timer is parked (event mode, quiet cluster)."""
+        return self._parked
 
     def start(self) -> None:
         """Seed arrival events and the first scheduler tick (idempotent)."""
@@ -422,7 +432,8 @@ class SimulationEngine:
         # applies.  Plan events are unaffected: they fire only on
         # passes that happen anyway.
         if self.faults is not None and self.faults.pending:
-            self._parked = False
+            if self._parked:
+                self._exit_park(self.now)
             self._ensure_tick(self.now)
         ticked = False
         events_processed = 0
@@ -557,8 +568,10 @@ class SimulationEngine:
         self._events.push(Event(arrival, EventKind.JOB_ARRIVAL, job))
         # A parked engine has no pass pending by design; a streamed
         # arrival re-arms it immediately (service responsiveness beats
-        # grid alignment on this path).
-        self._parked = False
+        # grid alignment on this path), after replaying the scheduler's
+        # clocks over the grid passes the park skipped.
+        if self._parked:
+            self._exit_park(arrival)
         self._ensure_tick(arrival)
         return arrival
 
@@ -708,6 +721,10 @@ class SimulationEngine:
             return False
         if self.cluster.overloaded_servers(self.config.overload_threshold):
             return False
+        if self._park_veto is not None and not self._park_veto(self.cluster):
+            # The scheduler sees a condition the engine's server-level
+            # checks cannot (e.g. Gandiva's per-GPU threshold).
+            return False
         return True
 
     def _unpark(self) -> None:
@@ -720,13 +737,36 @@ class SimulationEngine:
         """
         if not self._parked:
             return
-        self._parked = False
         tick = self.config.tick_seconds
-        periods = math.ceil((self.now - self._anchor) / tick)
-        next_time = self._anchor + max(1, periods) * tick
+        periods = max(1, math.ceil((self.now - self._anchor) / tick))
+        next_time = self._anchor + periods * tick
         if next_time < self.now:
             next_time = self.now
+        self._exit_park(next_time)
         self._push_tick(next_time)
+
+    def _exit_park(self, next_pass_time: float) -> None:
+        """Leave the parked state, replaying clocks over skipped passes.
+
+        ``next_pass_time`` is where the next pass will run.  Every fixed
+        -cadence grid point strictly before it (``anchor + k * tick``,
+        ``k = 1..skipped``) was a provably-no-op pass that the event
+        policy skipped; the scheduler's ``accrue()`` hook advances any
+        clocked state across them analytically so the pass that *does*
+        run sees bit-identical scheduler state to the fixed cadence.
+        """
+        self._parked = False
+        if self._accrue_hook is None:
+            return
+        tick = self.config.tick_seconds
+        skipped = max(0, math.ceil((next_pass_time - self._anchor) / tick) - 1)
+        if skipped:
+            self._accrue_hook(
+                skipped * tick,
+                skipped_passes=skipped,
+                now=self.now,
+                tick_seconds=tick,
+            )
 
     def _handle_iteration_done(self, job: Job, token: int) -> None:
         state = self._iteration.get(job.job_id)

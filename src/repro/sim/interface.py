@@ -140,18 +140,58 @@ class Scheduler(abc.ABC):
     name: str = "scheduler"
 
     #: Declares that a no-op round is *provably* a no-op: when every
-    #: active job is fully placed, the queue is empty and no server is
-    #: overloaded, this scheduler's decision is always empty — it never
-    #: stops, re-packs or time-slices running jobs on its own clock.
-    #: The event-driven engine (``EngineConfig(pass_policy="event")``)
-    #: only skips scheduling passes for schedulers that set this; load
-    #: controllers (MLFS/MLF-C evaluate OptStop every round) and
-    #: time-slicing baselines must leave it False.
+    #: active job is fully placed, the queue is empty, no server is
+    #: overloaded, :meth:`can_park` agrees and no fault event can fire,
+    #: this scheduler's decision is always empty *and* any clocked state
+    #: it keeps can be advanced analytically via :meth:`accrue` with
+    #: bit-identical results.  The event-driven engine
+    #: (``EngineConfig(pass_policy="event")``) only skips scheduling
+    #: passes for schedulers that set this; it reads the flag **once at
+    #: engine construction** — toggling it mid-run has no effect (a
+    #: pinned regression contract).  Load controllers (MLFS/MLF-C
+    #: evaluate OptStop every round) must leave it False.
     event_parkable: bool = False
 
     @abc.abstractmethod
     def on_schedule(self, ctx: SchedulingContext) -> SchedulerDecision:
         """Produce the decision for one scheduling round."""
+
+    def can_park(self, cluster: Cluster) -> bool:
+        """Scheduler veto on parking the pass timer (optional override).
+
+        Consulted by the engine *in addition to* its own park
+        preconditions (empty queue, all jobs placed, no server over the
+        engine's overload threshold, no armed fault).  Override when the
+        policy acts on conditions the engine cannot see — e.g. Gandiva
+        migrates off GPUs above its *own* per-device threshold, which a
+        server-level check can miss.  Must be a pure read of ``cluster``.
+        """
+        return True
+
+    def accrue(
+        self,
+        gap_seconds: float,
+        *,
+        skipped_passes: int,
+        now: float,
+        tick_seconds: float,
+    ) -> None:
+        """Advance clocked state across a parked gap (optional override).
+
+        Called by the event-driven engine when it leaves the parked
+        state, *before* the next scheduling pass runs:
+        ``skipped_passes`` fixed-cadence passes (at times ``anchor + k *
+        tick_seconds``, spanning ``gap_seconds = skipped_passes *
+        tick_seconds``) were provably no-ops and did not execute.  An
+        override must leave the scheduler in **bit-identical** state to
+        having run those passes — see DESIGN.md §15.7 for the proof
+        obligation and for which state may advance analytically (pass
+        counters via :class:`repro.sim.clock.PassClock`; closed-form
+        time integrals that fixed cadence never accumulates eagerly).
+        State that is already a pure function of simulation time and of
+        events that fire in both modes (arrivals, completions,
+        iterations) needs no accrual — the default is a no-op.
+        """
 
     def on_job_arrival(self, job: Job, now: float) -> None:
         """Hook: a job was submitted (optional override)."""

@@ -9,6 +9,7 @@ the same round.  Schedulers must never mutate the real cluster.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Optional
@@ -25,6 +26,13 @@ ShadowSnapshot = tuple[
 ]
 
 
+#: Process-wide monotonic shadow identities.  A scheduler builds one
+#: shadow per scheduling pass, so a changed token tells pass-scoped
+#: caches (the placement index) "new pass — live loads may have moved".
+#: ``id()`` cannot serve here: CPython reuses addresses after GC.
+_SHADOW_TOKENS = itertools.count(1)
+
+
 @dataclass
 class ShadowCluster:
     """Read-through view of a cluster with tentative load deltas."""
@@ -35,8 +43,22 @@ class ShadowCluster:
     #: Tentative task locations: task_id -> server_id (placements and
     #: migrations committed this round; ``None`` marks removals).
     _locations: dict[str, Optional[int]] = field(default_factory=dict)
+    #: Monotonic instance identity (see ``_SHADOW_TOKENS``).  Not
+    #: meaningful across processes — pass-scoped caches keyed on it must
+    #: drop their state on unpickle.
+    token: int = field(default_factory=lambda: next(_SHADOW_TOKENS))
 
     # -- queries -----------------------------------------------------------
+
+    def delta_server_ids(self) -> set[int]:
+        """Server ids whose shadow load differs from the live load.
+
+        Incremental candidate structures prefilter on *live* loads; any
+        server touched by this round's tentative commits must be
+        re-examined exactly (an eviction can free capacity the live
+        view does not show yet).
+        """
+        return set(self._server_delta)
 
     def server_load(self, server: Server) -> ResourceVector:
         """Real + tentative load of a server."""

@@ -158,11 +158,17 @@ class TestTiresias:
         served = make_job(seed=45, job_id="served")
         served.estimated_duration = 3600.0 * 100
         served.max_iterations = 100
-        for _ in range(60):
-            scheduler.on_iteration_complete(served, 0.0)
-        ctx = make_ctx([fresh, served], cluster)
-        q_fresh = scheduler.queue_index(fresh, ctx)
-        q_served = scheduler.queue_index(served, ctx)
+        for task in served.tasks:
+            gpu = cluster.server(0).place_task(task)
+            task.mark_placed(0.0, 0, gpu.gpu_id)
+        # A pass at t=0 opens the running job's service stint; 60 hours
+        # later its attained GPU-time dominates the fresh job's zero.
+        scheduler.begin_pass(make_ctx([fresh, served], cluster, now=0.0))
+        later = make_ctx([fresh, served], cluster, now=60 * 3600.0)
+        assert scheduler.attained_service(served, later.now) > 0.0
+        assert scheduler.attained_service(fresh, later.now) == 0.0
+        q_fresh = scheduler.queue_index(fresh, later)
+        q_served = scheduler.queue_index(served, later)
         assert q_served >= q_fresh
 
     def test_preempts_long_served_when_waiting(self):
@@ -173,14 +179,28 @@ class TestTiresias:
             gpu = cluster.server(0).place_task(task)
             task.mark_placed(0.0, 0, gpu.gpu_id)
         running.estimated_duration = 3600.0 * 50
-        for _ in range(80):
-            scheduler.on_iteration_complete(running, 0.0)
+        scheduler.begin_pass(make_ctx([running], cluster, now=0.0))
         waiting = make_job(seed=47, job_id="waiting")
         for task in waiting.tasks:
             task.mark_queued(0.0)
-        ctx = make_ctx([running, waiting], cluster)
+        ctx = make_ctx([running, waiting], cluster, now=80 * 3600.0)
         victims = scheduler.preemptions(ctx)
         assert running in victims
+
+    def test_stint_closes_on_eviction_and_completion(self):
+        scheduler = TiresiasScheduler()
+        cluster = Cluster.build(2, 4)
+        job = make_job(seed=46, job_id="stint")
+        for task in job.tasks:
+            gpu = cluster.server(0).place_task(task)
+            task.mark_placed(0.0, 0, gpu.gpu_id)
+        scheduler.begin_pass(make_ctx([job], cluster, now=0.0))
+        banked_at_close = 100.0 * job.gpus_requested
+        scheduler._close_stint(job, 100.0)
+        # Attained service freezes once the stint is closed.
+        assert scheduler.attained_service(job, 500.0) == banked_at_close
+        scheduler.on_job_complete(job, 600.0)
+        assert scheduler.attained_service(job, 700.0) == 0.0
 
 
 class TestSLAQ:

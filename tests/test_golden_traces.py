@@ -22,6 +22,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.baselines import GandivaScheduler, SLAQScheduler, TiresiasScheduler
 from repro.cluster import Cluster
 from repro.core import make_mlf_h, make_mlf_rl
 from repro.core.state import FEATURE_SIZE
@@ -59,6 +60,13 @@ SCENARIOS = {
     "mlf_h": (make_mlf_h, None),
     "mlf_rl": (lambda: make_mlf_rl(policy=_mlf_rl_policy()), None),
     "mlf_h_faults": (make_mlf_h, FAULT_PLAN),
+    # The event-parkable baselines (PR 10): their clocked state —
+    # Tiresias' attained-service stints, Gandiva's slice rotation,
+    # SLAQ's quality EWMA and epoch — is pinned here the same way the
+    # MLF suite is.
+    "tiresias": (TiresiasScheduler, None),
+    "gandiva": (GandivaScheduler, None),
+    "slaq": (SLAQScheduler, None),
 }
 
 

@@ -1,0 +1,214 @@
+"""Property tests pinning the bucketed placement index to its oracle.
+
+:meth:`PlacementEngine.candidate_servers` prunes with the free-GPU
+bucketed :class:`PlacementIndex`; :meth:`candidate_servers_scan` is the
+brute-force O(servers) reference it replaced.  The contract is strict
+equivalence — same candidate *list* (set and order) and, downstream,
+the same :meth:`select_host` choice — under arbitrary interleavings of
+
+* live mutations between passes: placements, evictions, server
+  crashes/revivals, GPU failures/revivals (failure does not bump
+  ``load_version``, so stale buckets must stay harmless);
+* tentative shadow commits within a pass (an eviction can *free*
+  capacity the live view lacks — those servers must re-enter the
+  candidate set via the shadow-delta union);
+* fractional GPU demands from real task shapes (parameter servers ask
+  ~0.05 GPU, workers ~0.4–0.85 — the regime whole-GPU buckets get
+  wrong).
+
+One engine instance persists across simulated passes so the
+``load_version`` refresh path (not just fresh construction) is what
+gets exercised.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.core.config import MLFSConfig
+from repro.core.placement import PlacementEngine, PlacementIndex
+from repro.sim.shadow import ShadowCluster
+from tests.conftest import make_job
+
+SERVERS = 5
+GPUS = 4
+
+#: (kind, server, gpu/slot, seed) — interpreted by :func:`apply_ops`.
+OP_KINDS = ("place", "evict", "fail", "revive", "gpu_fail", "gpu_revive")
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(OP_KINDS),
+        st.integers(min_value=0, max_value=SERVERS - 1),
+        st.integers(min_value=0, max_value=GPUS - 1),
+        st.integers(min_value=0, max_value=40),
+    ),
+    max_size=25,
+)
+
+#: Tentative in-pass commits: place a queued task or evict a live one.
+shadow_ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(("commit_place", "commit_evict")),
+        st.integers(min_value=0, max_value=SERVERS - 1),
+        st.integers(min_value=0, max_value=40),
+    ),
+    max_size=6,
+)
+
+#: Query demands spanning the real task shapes (PS ~0.05, workers up).
+query_gpus = st.sampled_from((1, 2, 4, 8))
+
+
+def fresh_task(seed, gpus=1, tag="q"):
+    job = make_job(seed=seed, gpus=gpus, job_id=f"{tag}{seed}g{gpus}")
+    return job.tasks[seed % len(job.tasks)]
+
+
+def apply_ops(cluster, ops, placed, tag):
+    """Mutate live cluster state; track placed tasks for later eviction."""
+    for i, (kind, sid, gid, seed) in enumerate(ops):
+        server = cluster.server(sid)
+        if kind == "place":
+            if server.failed:
+                continue  # the cluster model rejects placement on a crash
+            task = fresh_task(seed, gpus=1 + seed % 4, tag=f"{tag}p{i}s")
+            gpu = server.place_task(task)
+            task.mark_placed(0.0, sid, gpu.gpu_id)
+            placed.append((server, task))
+        elif kind == "evict" and placed:
+            server, task = placed.pop(seed % len(placed))
+            server.remove_task(task)
+            task.mark_queued(0.0)
+        elif kind == "fail":
+            server.failed = True
+        elif kind == "revive":
+            server.failed = False
+        elif kind == "gpu_fail":
+            server.gpus[gid].failed = True
+        elif kind == "gpu_revive":
+            server.gpus[gid].failed = False
+
+
+def apply_shadow_ops(shadow, shadow_ops, placed, tag):
+    for i, (kind, sid, seed) in enumerate(shadow_ops):
+        if kind == "commit_place":
+            task = fresh_task(seed, gpus=1 + seed % 4, tag=f"{tag}c{i}s")
+            shadow.commit_placement(task, sid, seed % GPUS)
+        elif kind == "commit_evict" and placed:
+            _, task = placed[seed % len(placed)]
+            if shadow.task_location(task) is not None:
+                shadow.commit_removal(task)
+
+
+class TestIndexMatchesOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rounds=st.lists(
+            st.tuples(ops_strategy, shadow_ops_strategy), min_size=1, max_size=4
+        ),
+        gpus=query_gpus,
+        query_seed=st.integers(min_value=0, max_value=20),
+    )
+    def test_candidates_and_choice_match_scan(self, rounds, gpus, query_seed):
+        cluster = Cluster.build(SERVERS, GPUS)
+        engine = PlacementEngine(MLFSConfig())
+        placed = []
+        for round_no, (ops, shadow_ops) in enumerate(rounds):
+            apply_ops(cluster, ops, placed, tag=f"r{round_no}")
+            shadow = ShadowCluster(cluster)
+            apply_shadow_ops(shadow, shadow_ops, placed, tag=f"r{round_no}")
+            job = make_job(seed=query_seed, gpus=gpus, job_id=f"r{round_no}query")
+            for task in job.tasks:
+                indexed = engine.candidate_servers(task, shadow)
+                scanned = engine.candidate_servers_scan(task, shadow)
+                assert indexed == scanned  # same servers, same order
+                choice = engine.select_host(task, shadow)
+                oracle = engine.select_host(task, shadow, candidates=scanned)
+                assert choice == oracle
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=ops_strategy, gpus=query_gpus)
+    def test_stale_index_never_leaks_across_passes(self, ops, gpus):
+        """A second pass (new shadow token) must see post-mutation loads."""
+        cluster = Cluster.build(SERVERS, GPUS)
+        engine = PlacementEngine(MLFSConfig())
+        placed = []
+        task = make_job(seed=3, gpus=gpus, job_id="probe").tasks[0]
+        # Pass 1 primes the cache on the empty cluster.
+        warm = ShadowCluster(cluster)
+        engine.candidate_servers(task, warm)
+        # Mutations land between passes; pass 2 must re-bucket.
+        apply_ops(cluster, ops, placed, tag="late")
+        shadow = ShadowCluster(cluster)
+        assert engine.candidate_servers(task, shadow) == engine.candidate_servers_scan(
+            task, shadow
+        )
+
+
+class TestIndexMechanics:
+    def test_bucket_prefilter_prunes_full_servers(self):
+        """A GPU-saturated server is not even probed for a worker task."""
+        cluster = Cluster.build(4, GPUS)
+        index = PlacementIndex(cluster, threshold=0.9)
+        hog = cluster.server(0)
+        for i in range(12):
+            task = fresh_task(i, gpus=8, tag=f"hog{i}s")
+            hog.place_task(task)
+            task.mark_placed(0.0, 0, 0)
+        index.refresh()
+        ids = index.candidate_ids(0.8)
+        assert 0 not in ids
+        assert ids == [1, 2, 3]
+
+    def test_candidate_ids_includes_shadow_delta_servers(self):
+        """A server freed only tentatively (shadow eviction) re-enters."""
+        cluster = Cluster.build(2, GPUS)
+        full = cluster.server(0)
+        victims = []
+        for i in range(10):
+            task = fresh_task(i, gpus=8, tag=f"full{i}s")
+            full.place_task(task)
+            task.mark_placed(0.0, 0, 0)
+            victims.append(task)
+        index = PlacementIndex(cluster, threshold=0.9)
+        assert 0 not in index.candidate_ids(0.8)
+        shadow = ShadowCluster(cluster)
+        for task in victims:
+            shadow.commit_removal(task)
+        assert 0 in index.candidate_ids(0.8, shadow)
+
+    def test_pickled_engine_drops_index_cache_and_rebuilds(self):
+        cluster = Cluster.build(3, GPUS)
+        engine = PlacementEngine(MLFSConfig())
+        task = make_job(seed=5, gpus=2, job_id="pkl").tasks[0]
+        shadow = ShadowCluster(cluster)
+        engine.candidate_servers(task, shadow)
+        assert engine._index is not None
+
+        restored = pickle.loads(pickle.dumps(engine))
+        assert restored._index is None
+        assert restored._index_pass_token == -1
+        # Shadow tokens are process-local: a restored engine must not
+        # trust them, only rebuild — and still match the oracle.
+        cluster2 = Cluster.build(3, GPUS)
+        shadow2 = ShadowCluster(cluster2)
+        assert restored.candidate_servers(task, shadow2) == restored.candidate_servers_scan(
+            task, shadow2
+        )
+
+    def test_new_threshold_rebuilds_index(self):
+        cluster = Cluster.build(3, GPUS)
+        engine = PlacementEngine(MLFSConfig())
+        task = make_job(seed=6, gpus=1, job_id="thr").tasks[0]
+        engine.candidate_servers(task, ShadowCluster(cluster))
+        first = engine._index
+        engine.config = MLFSConfig(overload_threshold=0.5)
+        engine.candidate_servers(task, ShadowCluster(cluster))
+        assert engine._index is not first
+        assert engine._index.threshold == pytest.approx(0.5)
